@@ -1,0 +1,308 @@
+// concordctl is the userspace control tool of the Concord framework
+// (Figure 1's user side): assemble and verify policies, store them in a
+// policy repository directory (the "BPF file system" analogue),
+// disassemble stored programs, and run an in-process demo that attaches
+// a policy to a live lock and profiles it.
+//
+// Usage:
+//
+//	concordctl asm    -kind cmp_node -name numa -o numa.json [-map spec] file.s
+//	concordctl verify prog.json
+//	concordctl disasm prog.json
+//	concordctl demo   [-policy numa|inheritance|scl] [-workers N] [-ops N]
+//	concordctl kinds
+//
+// Map specs have the form name:type:keysize:valuesize:maxentries, e.g.
+// counters:array:4:8:16 or waits:hash:8:16:1024.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"concord"
+	"concord/internal/policy"
+	"concord/internal/policydsl"
+	"concord/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "kinds":
+		err = cmdKinds()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "concordctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "concordctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `concordctl — Concord policy control tool
+
+commands:
+  compile [-o dir] file.pol
+         compile + verify a C-style policy source (may contain several
+         policies and map declarations); writes one JSON per policy
+  asm    -kind K -name N [-o out.json] [-map spec]... file.s
+         assemble + verify a policy program
+  verify prog.json     re-verify a stored program, print proof stats
+  disasm prog.json     print a stored program as assembly
+  demo   [-policy P] [-workers N] [-ops N]
+         attach a policy to a live lock in-process and profile it
+  kinds  list program kinds (the Table 1 hook points)
+`)
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	out := fs.String("o", "", "output directory (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("compile: exactly one source file required")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	unit, err := policydsl.CompileAndVerify(string(src))
+	if err != nil {
+		return err
+	}
+	for _, prog := range unit.Programs {
+		data, err := policy.Marshal(prog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "compiled %q (%s): %d insns, %d maps\n",
+			prog.Name, prog.Kind, len(prog.Insns), len(prog.Maps))
+		if *out == "" {
+			fmt.Println(string(data))
+			continue
+		}
+		path := *out + "/" + prog.Name + ".json"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+	}
+	return nil
+}
+
+func parseMapSpec(s string) (policy.Map, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("map spec %q: want name:type:key:value:entries", s)
+	}
+	atoi := func(v string) int { n, _ := strconv.Atoi(v); return n }
+	spec := policy.MapSpec{
+		Name: parts[0], Type: parts[1],
+		KeySize: atoi(parts[2]), ValueSize: atoi(parts[3]), MaxEntries: atoi(parts[4]),
+		NumCPUs: 80,
+	}
+	return spec.Build()
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	kindName := fs.String("kind", "cmp_node", "program kind (see `concordctl kinds`)")
+	name := fs.String("name", "policy", "program name")
+	out := fs.String("o", "", "output file (default: stdout)")
+	var mapSpecs multiFlag
+	fs.Var(&mapSpecs, "map", "map spec name:type:key:value:entries (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm: exactly one source file required")
+	}
+	kind, ok := policy.KindByName(*kindName)
+	if !ok {
+		return fmt.Errorf("unknown kind %q", *kindName)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	maps := map[string]policy.Map{}
+	for _, spec := range mapSpecs {
+		m, err := parseMapSpec(spec)
+		if err != nil {
+			return err
+		}
+		maps[m.Name()] = m
+	}
+	prog, err := policy.Assemble(*name, kind, string(src), maps)
+	if err != nil {
+		return err
+	}
+	stats, err := policy.Verify(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "verified: %d insns, %d helper calls, %d stack bytes, %d maps\n",
+		stats.Insns, stats.HelperCalls, stats.MaxStackUsed, stats.MapRefs)
+	data, err := policy.Marshal(prog)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func loadProgram(path string) (*policy.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Unmarshal(data)
+}
+
+func cmdVerify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("verify: one program file required")
+	}
+	prog, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	stats, err := policy.Verify(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %q (%s): OK\n", prog.Name, prog.Kind)
+	fmt.Printf("  instructions: %d\n  helper calls: %d\n  stack bytes:  %d\n  maps:         %d\n",
+		stats.Insns, stats.HelperCalls, stats.MaxStackUsed, stats.MapRefs)
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("disasm: one program file required")
+	}
+	prog, err := loadProgram(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.String())
+	return nil
+}
+
+func cmdKinds() error {
+	for k := policy.Kind(0); k.Valid(); k++ {
+		layout := policy.LayoutFor(k)
+		fields := make([]string, len(layout.Fields))
+		for i, f := range layout.Fields {
+			fields[i] = f.Name
+		}
+		fmt.Printf("%-16s ctx: %s\n", k, strings.Join(fields, " "))
+	}
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	policyName := fs.String("policy", "numa", "numa | inheritance | scl | fifo")
+	workers := fs.Int("workers", 8, "worker goroutines")
+	ops := fs.Int("ops", 5000, "operations per worker")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo := concord.PaperTopology()
+	fw := concord.New(topo)
+	lock := concord.NewShflLock("demo_lock", concord.WithMaxRounds(64))
+	if err := fw.RegisterLock(lock); err != nil {
+		return err
+	}
+
+	switch *policyName {
+	case "numa":
+		// The real thing: assemble, verify, attach cBPF.
+		prog := concord.MustAssemble("numa", concord.KindCmpNode, `
+			mov   r6, r1
+			ldxdw r2, [r6+curr_socket]
+			ldxdw r3, [r6+shuffler_socket]
+			jeq   r2, r3, group
+			mov   r0, 0
+			exit
+		group:
+			mov   r0, 1
+			exit
+		`, nil)
+		if _, err := fw.LoadPolicy("numa", prog); err != nil {
+			return err
+		}
+	case "inheritance":
+		if _, err := fw.LoadNative("inheritance", concord.InheritanceHooks()); err != nil {
+			return err
+		}
+		*policyName = "inheritance"
+	case "scl":
+		if _, err := fw.LoadNative("scl", concord.SCLHooks()); err != nil {
+			return err
+		}
+	case "fifo":
+		if _, err := fw.LoadNative("fifo", concord.FIFOHooks()); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown demo policy %q", *policyName)
+	}
+
+	att, err := fw.Attach("demo_lock", *policyName)
+	if err != nil {
+		return err
+	}
+	att.Wait()
+	fmt.Printf("attached policy %q to %s (livepatch drained)\n", *policyName, "demo_lock")
+
+	prof := concord.NewProfiler()
+	if err := fw.StartProfiling("demo_lock", prof); err != nil {
+		return err
+	}
+
+	res := workloads.RunHashTable(lock, topo, workloads.HashTableConfig{
+		Workers: *workers, OpsPerWorker: *ops, ReadFraction: 0.7,
+	})
+	fmt.Printf("hashtable: %d ops in %v (%.1f ops/ms)\n", res.Ops, res.Duration, res.OpsPerMSec())
+	rounds, moves, skips := lock.ShuffleStats()
+	fmt.Printf("shuffler: %d rounds, %d moves, %d skips; faults=%d\n", rounds, moves, skips, att.Faults())
+	fmt.Println()
+	return prof.Report(os.Stdout)
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,97 @@
+// lockbench regenerates the paper's evaluation figures (§5, Figure 2)
+// and the DESIGN.md ablations as tables or CSV.
+//
+// Usage:
+//
+//	lockbench -experiment f2a|f2b|f2c|f2c-real|a3|all
+//	          [-threads 1,2,4,...] [-format table|csv] [-out file]
+//
+// f2a, f2b and f2c run on the simulated 8-socket/80-CPU machine (shape
+// reproduction); f2c-real measures the real lock implementations on the
+// host (framework-overhead reproduction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"concord/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "f2a | f2b | f2c | f2c-real | a3 | all")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: paper sweep)")
+	format := flag.String("format", "table", "table | csv")
+	out := flag.String("out", "", "output file (default stdout)")
+	ops := flag.Int("ops", 2000, "ops per worker for f2c-real")
+	flag.Parse()
+
+	threads := experiments.DefaultThreads
+	if *threadsFlag != "" {
+		threads = nil
+		for _, s := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "lockbench: bad thread count %q\n", s)
+				os.Exit(2)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	var pts []experiments.Point
+	run := func(name string) {
+		switch name {
+		case "f2a":
+			fmt.Fprintln(os.Stderr, "running f2a: page_fault2 (simulated 8×10 machine)...")
+			pts = append(pts, experiments.Figure2a(threads)...)
+		case "f2b":
+			fmt.Fprintln(os.Stderr, "running f2b: lock2 (simulated 8×10 machine)...")
+			pts = append(pts, experiments.Figure2b(threads)...)
+		case "f2c":
+			fmt.Fprintln(os.Stderr, "running f2c: hashtable normalized (simulated)...")
+			pts = append(pts, experiments.Figure2cSim(threads)...)
+		case "f2c-real":
+			fmt.Fprintln(os.Stderr, "running f2c-real: hashtable normalized (real locks)...")
+			pts = append(pts, experiments.Figure2cReal(threads, *ops)...)
+		case "a3":
+			fmt.Fprintln(os.Stderr, "running a3: shuffle-policy ablation...")
+			pts = append(pts, experiments.ShufflePolicyAblation(80)...)
+		default:
+			fmt.Fprintf(os.Stderr, "lockbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"f2a", "f2b", "f2c", "a3"} {
+			run(name)
+		}
+	} else {
+		run(*exp)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	if *format == "csv" {
+		err = experiments.WriteCSV(w, pts)
+	} else {
+		err = experiments.RenderTable(w, pts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		os.Exit(1)
+	}
+}

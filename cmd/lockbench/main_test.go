@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The binary's surface is flags + stdout; build it once and drive it.
+func buildLockbench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "lockbench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestLockbenchCSVAndTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildLockbench(t)
+
+	// Small sweep to keep runtime down.
+	out, err := exec.Command(bin, "-experiment", "f2b", "-threads", "1,20", "-format", "csv").Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	csv := string(out)
+	for _, want := range []string{
+		"experiment,series,threads,value",
+		"f2b,Stock,1,", "f2b,ShflLock,20,", "f2b,Concord-ShflLock,20,",
+	} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("csv missing %q:\n%s", want, csv)
+		}
+	}
+
+	out, err = exec.Command(bin, "-experiment", "f2c", "-threads", "1,10", "-format", "table").Output()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(string(out), "== f2c ==") {
+		t.Errorf("table missing header:\n%s", out)
+	}
+
+	// Output file.
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := exec.Command(bin, "-experiment", "a3", "-format", "csv", "-out", path).Run(); err != nil {
+		t.Fatalf("run with -out: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("a3,numa,80,")) {
+		t.Errorf("file output:\n%s", data)
+	}
+}
+
+func TestLockbenchRejectsBadArgs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildLockbench(t)
+	if err := exec.Command(bin, "-experiment", "nonsense").Run(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := exec.Command(bin, "-threads", "0,banana").Run(); err == nil {
+		t.Error("bad thread list accepted")
+	}
+}

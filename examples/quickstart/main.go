@@ -1,0 +1,79 @@
+// Quickstart: the complete Concord workflow from the paper's Figure 1 in
+// one file — write a policy, verify it, livepatch it onto a live lock,
+// and watch it steer the wait queue.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+
+	"concord"
+)
+
+func main() {
+	// A virtual 8-socket × 10-core machine (the paper's testbed shape).
+	topo := concord.PaperTopology()
+	fw := concord.New(topo)
+
+	// A shuffling lock, registered with the framework.
+	lock := concord.NewShflLock("mmap_sem", concord.WithMaxRounds(64))
+	if err := fw.RegisterLock(lock); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1 (user): express a NUMA-aware policy as cBPF assembly —
+	// "group waiters from the shuffler's socket".
+	prog := concord.MustAssemble("numa", concord.KindCmpNode, `
+		mov   r6, r1
+		ldxdw r2, [r6+curr_socket]
+		ldxdw r3, [r6+shuffler_socket]
+		jeq   r2, r3, group
+		mov   r0, 0
+		exit
+	group:
+		mov   r0, 1
+		exit
+	`, nil)
+
+	// Steps 2–4 (verifier): LoadPolicy rejects anything unsafe.
+	if _, err := fw.LoadPolicy("numa", prog); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 6 (livepatch): attach and wait for the consistency point.
+	att, err := fw.Attach("mmap_sem", "numa")
+	if err != nil {
+		log.Fatal(err)
+	}
+	att.Wait()
+	fmt.Println("policy verified and livepatched onto mmap_sem")
+
+	// Drive the lock from 16 workers alternating between two sockets.
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := concord.NewTaskOnCPU(topo, (w%2)*10) // socket 0 or 1
+			for i := 0; i < 2000; i++ {
+				lock.Lock(t)
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+				lock.Unlock(t)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rounds, moves, skips := lock.ShuffleStats()
+	fmt.Printf("shuffler activity: %d rounds, %d waiter moves, %d skips\n", rounds, moves, skips)
+	fmt.Printf("policy runtime faults: %d\n", att.Faults())
+	if err := lock.SafetyError(); err != "" {
+		fmt.Println("safety check tripped:", err)
+	} else {
+		fmt.Println("all runtime safety checks passed")
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"concord/internal/locks"
+	"concord/internal/policy"
+	"concord/internal/task"
+)
+
+// slot index tables, computed once from the fixed context layouts so the
+// per-invocation fill is straight array stores.
+var (
+	cmpL   = policy.LayoutFor(policy.KindCmpNode)
+	skipL  = policy.LayoutFor(policy.KindSkipShuffle)
+	schedL = policy.LayoutFor(policy.KindScheduleWaiter)
+	profL  = policy.LayoutFor(policy.KindLockAcquire)
+
+	cmpIdx = struct {
+		lockID, queueLen, round, now, batch                             int
+		sTask, sCPU, sSocket, sPrio, sWeight, sCS, sWait, sHeld, sSpeed int
+		sQuota, sPreempted                                              int
+		cTask, cCPU, cSocket, cPrio, cWeight, cCS, cWait, cHeld, cSpeed int
+		cQuota, cPreempted                                              int
+	}{
+		lockID: cmpL.Slot("lock_id"), queueLen: cmpL.Slot("queue_len"),
+		round: cmpL.Slot("shuffle_round"), now: cmpL.Slot("now_ns"), batch: cmpL.Slot("batch"),
+		sTask: cmpL.Slot("shuffler_task_id"), sCPU: cmpL.Slot("shuffler_cpu"),
+		sSocket: cmpL.Slot("shuffler_socket"), sPrio: cmpL.Slot("shuffler_prio"),
+		sWeight: cmpL.Slot("shuffler_weight"), sCS: cmpL.Slot("shuffler_cs_avg"),
+		sWait: cmpL.Slot("shuffler_wait_ns"), sHeld: cmpL.Slot("shuffler_held_mask"),
+		sSpeed: cmpL.Slot("shuffler_speed_pct"), sQuota: cmpL.Slot("shuffler_quota"),
+		sPreempted: cmpL.Slot("shuffler_preempted"),
+		cTask:      cmpL.Slot("curr_task_id"), cCPU: cmpL.Slot("curr_cpu"),
+		cSocket: cmpL.Slot("curr_socket"), cPrio: cmpL.Slot("curr_prio"),
+		cWeight: cmpL.Slot("curr_weight"), cCS: cmpL.Slot("curr_cs_avg"),
+		cWait: cmpL.Slot("curr_wait_ns"), cHeld: cmpL.Slot("curr_held_mask"),
+		cSpeed: cmpL.Slot("curr_speed_pct"), cQuota: cmpL.Slot("curr_quota"),
+		cPreempted: cmpL.Slot("curr_preempted"),
+	}
+
+	skipIdx = struct {
+		lockID, queueLen, round, now, batch, sTask, sCPU, sSocket, sPrio, sWait int
+	}{
+		lockID: skipL.Slot("lock_id"), queueLen: skipL.Slot("queue_len"),
+		round: skipL.Slot("shuffle_round"), now: skipL.Slot("now_ns"),
+		batch: skipL.Slot("batch"), sTask: skipL.Slot("shuffler_task_id"),
+		sCPU: skipL.Slot("shuffler_cpu"), sSocket: skipL.Slot("shuffler_socket"),
+		sPrio: skipL.Slot("shuffler_prio"), sWait: skipL.Slot("shuffler_wait_ns"),
+	}
+
+	schedIdx = struct {
+		lockID, queueLen, now, cTask, cCPU, cSocket, cPrio, cWait int
+		cQuota, cPreempted, ahead, holderCS, spin                 int
+	}{
+		lockID: schedL.Slot("lock_id"), queueLen: schedL.Slot("queue_len"),
+		now: schedL.Slot("now_ns"), cTask: schedL.Slot("curr_task_id"),
+		cCPU: schedL.Slot("curr_cpu"), cSocket: schedL.Slot("curr_socket"),
+		cPrio: schedL.Slot("curr_prio"), cWait: schedL.Slot("curr_wait_ns"),
+		cQuota: schedL.Slot("curr_quota"), cPreempted: schedL.Slot("curr_preempted"),
+		ahead: schedL.Slot("waiters_ahead"), holderCS: schedL.Slot("holder_cs_avg"),
+		spin: schedL.Slot("spin_ns"),
+	}
+
+	profIdx = struct {
+		lockID, op, taskID, cpu, socket, prio, now, wait, hold, qlen, reader int
+	}{
+		lockID: profL.Slot("lock_id"), op: profL.Slot("op"),
+		taskID: profL.Slot("task_id"), cpu: profL.Slot("cpu"),
+		socket: profL.Slot("socket"), prio: profL.Slot("prio"),
+		now: profL.Slot("now_ns"), wait: profL.Slot("wait_ns"),
+		hold: profL.Slot("hold_ns"), qlen: profL.Slot("queue_len"),
+		reader: profL.Slot("reader"),
+	}
+)
+
+// op codes stored in the profiling context's "op" field.
+const (
+	opAcquire   = 1
+	opContended = 2
+	opAcquired  = 3
+	opRelease   = 4
+)
+
+// taskEnv adapts a task to the policy VM's execution environment.
+type taskEnv struct {
+	t    *task.T
+	seed uint64
+}
+
+func (e *taskEnv) NowNS() int64        { return time.Now().UnixNano() }
+func (e *taskEnv) CPU() int            { return e.t.CPU() }
+func (e *taskEnv) NUMANode() int       { return e.t.Socket() }
+func (e *taskEnv) TaskID() int64       { return e.t.ID() }
+func (e *taskEnv) TaskPriority() int64 { return e.t.Priority() }
+func (e *taskEnv) Rand() uint64 {
+	e.seed += 0x9e3779b97f4a7c15
+	z := e.seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+func (e *taskEnv) Trace(uint64) {}
+
+// adapter turns a set of verified programs into a locks.Hooks table.
+// One adapter backs one attachment; it owns fault bookkeeping.
+type adapter struct {
+	policyName string
+	faultFn    func(err error) // invoked once on the first policy fault
+
+	faults    atomic.Int64
+	faultOnce sync.Once
+	lastErr   atomic.Pointer[error]
+
+	envs sync.Map // *task.T -> *taskEnv
+}
+
+func (a *adapter) envFor(t *task.T) *taskEnv {
+	if t == nil {
+		return &taskEnv{}
+	}
+	if e, ok := a.envs.Load(t); ok {
+		return e.(*taskEnv)
+	}
+	e := &taskEnv{t: t, seed: uint64(t.ID())}
+	actual, _ := a.envs.LoadOrStore(t, e)
+	return actual.(*taskEnv)
+}
+
+// Faults reports how many policy executions faulted.
+func (a *adapter) Faults() int64 { return a.faults.Load() }
+
+// Err returns the first fault, if any.
+func (a *adapter) Err() error {
+	if p := a.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (a *adapter) fault(err error) {
+	a.faults.Add(1)
+	a.lastErr.CompareAndSwap(nil, &err)
+	a.faultOnce.Do(func() {
+		if a.faultFn != nil {
+			a.faultFn(err)
+		}
+	})
+}
+
+func taskFields(t *task.T) (id, cpu, socket, prio, weight, cs, held, speed, quota, preempted uint64) {
+	id = uint64(t.ID())
+	cpu = uint64(t.CPU())
+	socket = uint64(t.Socket())
+	prio = uint64(t.Priority())
+	weight = uint64(t.Weight())
+	cs = uint64(t.CSAverage())
+	held = t.HeldMask()
+	speed = uint64(t.Speed() * 100)
+	quota = uint64(t.Quota())
+	if t.Preempted() {
+		preempted = 1
+	}
+	return
+}
+
+// hooks builds the lock hook table executing the given programs. Each
+// program is compiled to native closures once at attach time (§4.2's
+// "translated into native code"); the interpreter remains as fallback.
+func (a *adapter) hooks(progs map[policy.Kind]*policy.Program) *locks.Hooks {
+	h := &locks.Hooks{Name: a.policyName}
+
+	compiled := make(map[*policy.Program]policy.CompiledFn, len(progs))
+	for _, p := range progs {
+		if fn, err := policy.CompileNative(p); err == nil {
+			compiled[p] = fn
+		}
+	}
+	exec := func(p *policy.Program, ctx *policy.Ctx, t *task.T) (uint64, bool) {
+		var ret uint64
+		var err error
+		if fn := compiled[p]; fn != nil {
+			ret, err = fn(ctx, a.envFor(t))
+		} else {
+			ret, err = policy.Exec(p, ctx, a.envFor(t))
+		}
+		if err != nil {
+			a.fault(err)
+			return 0, false
+		}
+		return ret, true
+	}
+
+	if p, ok := progs[policy.KindCmpNode]; ok {
+		h.CmpNode = func(info *locks.ShuffleInfo) bool {
+			var words [32]uint64
+			ctx := policy.Ctx{Layout: cmpL, Words: words[:len(cmpL.Fields)]}
+			w := ctx.Words
+			w[cmpIdx.lockID] = info.LockID
+			w[cmpIdx.queueLen] = uint64(info.QueueLen)
+			w[cmpIdx.round] = uint64(info.Round)
+			w[cmpIdx.now] = uint64(info.NowNS)
+			w[cmpIdx.batch] = uint64(info.Batch)
+			s := info.Shuffler
+			w[cmpIdx.sTask], w[cmpIdx.sCPU], w[cmpIdx.sSocket], w[cmpIdx.sPrio],
+				w[cmpIdx.sWeight], w[cmpIdx.sCS], w[cmpIdx.sHeld], w[cmpIdx.sSpeed],
+				w[cmpIdx.sQuota], w[cmpIdx.sPreempted] = taskFields(s.Task)
+			w[cmpIdx.sWait] = uint64(s.WaitNS(info.NowNS))
+			c := info.Curr
+			w[cmpIdx.cTask], w[cmpIdx.cCPU], w[cmpIdx.cSocket], w[cmpIdx.cPrio],
+				w[cmpIdx.cWeight], w[cmpIdx.cCS], w[cmpIdx.cHeld], w[cmpIdx.cSpeed],
+				w[cmpIdx.cQuota], w[cmpIdx.cPreempted] = taskFields(c.Task)
+			w[cmpIdx.cWait] = uint64(c.WaitNS(info.NowNS))
+			ret, ok := exec(p, &ctx, s.Task)
+			return ok && ret != 0
+		}
+	}
+
+	if p, ok := progs[policy.KindSkipShuffle]; ok {
+		h.SkipShuffle = func(info *locks.ShuffleInfo) bool {
+			var words [16]uint64
+			ctx := policy.Ctx{Layout: skipL, Words: words[:len(skipL.Fields)]}
+			w := ctx.Words
+			w[skipIdx.lockID] = info.LockID
+			w[skipIdx.queueLen] = uint64(info.QueueLen)
+			w[skipIdx.round] = uint64(info.Round)
+			w[skipIdx.now] = uint64(info.NowNS)
+			w[skipIdx.batch] = uint64(info.Batch)
+			s := info.Shuffler
+			w[skipIdx.sTask] = uint64(s.Task.ID())
+			w[skipIdx.sCPU] = uint64(s.Task.CPU())
+			w[skipIdx.sSocket] = uint64(s.Task.Socket())
+			w[skipIdx.sPrio] = uint64(s.Task.Priority())
+			w[skipIdx.sWait] = uint64(s.WaitNS(info.NowNS))
+			ret, ok := exec(p, &ctx, s.Task)
+			return ok && ret != 0
+		}
+	}
+
+	if p, ok := progs[policy.KindScheduleWaiter]; ok {
+		h.ScheduleWaiter = func(info *locks.WaitInfo) int {
+			var words [16]uint64
+			ctx := policy.Ctx{Layout: schedL, Words: words[:len(schedL.Fields)]}
+			w := ctx.Words
+			w[schedIdx.lockID] = info.LockID
+			w[schedIdx.queueLen] = uint64(info.QueueLen)
+			w[schedIdx.now] = uint64(info.NowNS)
+			c := info.Curr
+			w[schedIdx.cTask] = uint64(c.Task.ID())
+			w[schedIdx.cCPU] = uint64(c.Task.CPU())
+			w[schedIdx.cSocket] = uint64(c.Task.Socket())
+			w[schedIdx.cPrio] = uint64(c.Task.Priority())
+			w[schedIdx.cWait] = uint64(c.WaitNS(info.NowNS))
+			w[schedIdx.cQuota] = uint64(c.Task.Quota())
+			if c.Task.Preempted() {
+				w[schedIdx.cPreempted] = 1
+			}
+			w[schedIdx.ahead] = uint64(info.WaitersAhead)
+			w[schedIdx.holderCS] = uint64(info.HolderCSAvg)
+			w[schedIdx.spin] = uint64(info.SpinNS)
+			ret, ok := exec(p, &ctx, c.Task)
+			if !ok {
+				return locks.WaitDefault
+			}
+			switch ret {
+			case policy.WaiterKeepSpinning:
+				return locks.WaitKeepSpinning
+			case policy.WaiterParkNow:
+				return locks.WaitParkNow
+			default:
+				return locks.WaitDefault
+			}
+		}
+	}
+
+	profHook := func(p *policy.Program, op uint64) func(ev *locks.Event) {
+		layout := policy.LayoutFor(p.Kind)
+		return func(ev *locks.Event) {
+			var words [16]uint64
+			ctx := policy.Ctx{Layout: layout, Words: words[:len(layout.Fields)]}
+			w := ctx.Words
+			w[profIdx.lockID] = ev.LockID
+			w[profIdx.op] = op
+			if ev.Task != nil {
+				w[profIdx.taskID] = uint64(ev.Task.ID())
+				w[profIdx.cpu] = uint64(ev.Task.CPU())
+				w[profIdx.socket] = uint64(ev.Task.Socket())
+				w[profIdx.prio] = uint64(ev.Task.Priority())
+			}
+			w[profIdx.now] = uint64(ev.NowNS)
+			w[profIdx.wait] = uint64(ev.WaitNS)
+			w[profIdx.hold] = uint64(ev.HoldNS)
+			w[profIdx.qlen] = uint64(ev.QueueLen)
+			if ev.Reader {
+				w[profIdx.reader] = 1
+			}
+			exec(p, &ctx, ev.Task)
+		}
+	}
+	if p, ok := progs[policy.KindLockAcquire]; ok {
+		h.OnAcquire = profHook(p, opAcquire)
+	}
+	if p, ok := progs[policy.KindLockContended]; ok {
+		h.OnContended = profHook(p, opContended)
+	}
+	if p, ok := progs[policy.KindLockAcquired]; ok {
+		h.OnAcquired = profHook(p, opAcquired)
+	}
+	if p, ok := progs[policy.KindLockRelease]; ok {
+		h.OnRelease = profHook(p, opRelease)
+	}
+	return h
+}

@@ -1,0 +1,477 @@
+// Package core implements the Concord framework — the paper's primary
+// contribution (§4). It glues the other substrates together along the
+// workflow of Figure 1:
+//
+//  1. a user expresses a lock policy as cBPF programs (or native Go
+//     hooks, standing in for the pre-compiled comparison points);
+//  2. the framework verifies every program with the policy verifier,
+//     which enforces both eBPF-style restrictions and the lock-safety
+//     properties (read-only contexts, restricted helpers on the shuffler
+//     path, bounded execution);
+//  3. verified policies live in the framework's registry (and can be
+//     persisted via concordctl — the "BPF file system" step);
+//  4. Attach livepatches the target lock's hook table; the returned
+//     patch completes once no execution still runs the old hooks;
+//  5. runtime safety checks quarantine faulting policies and fall back
+//     to the lock's default behaviour.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"sync"
+
+	"concord/internal/livepatch"
+	"concord/internal/locks"
+	"concord/internal/policy"
+	"concord/internal/profile"
+	"concord/internal/topology"
+)
+
+// Framework errors.
+var (
+	ErrLockExists      = errors.New("concord: lock already registered")
+	ErrNoSuchLock      = errors.New("concord: no such lock")
+	ErrNotHooked       = errors.New("concord: lock does not support hooks")
+	ErrPolicyExists    = errors.New("concord: policy already loaded")
+	ErrNoSuchPolicy    = errors.New("concord: no such policy")
+	ErrDuplicateKind   = errors.New("concord: policy has two programs of the same kind")
+	ErrPolicyConflict  = errors.New("concord: policies conflict")
+	ErrNothingAttached = errors.New("concord: nothing attached")
+)
+
+// Policy is a named, verified set of hook programs (and/or a native Go
+// hook table used for pre-compiled baselines).
+type Policy struct {
+	Name     string
+	Programs map[policy.Kind]*policy.Program
+	Native   *locks.Hooks
+	Verify   map[policy.Kind]policy.VerifyStats
+}
+
+// Kinds lists the hook kinds this policy provides (programs and native).
+func (p *Policy) Kinds() []policy.Kind {
+	var out []policy.Kind
+	for k := range p.Programs {
+		out = append(out, k)
+	}
+	if p.Native != nil {
+		if p.Native.CmpNode != nil {
+			out = append(out, policy.KindCmpNode)
+		}
+		if p.Native.SkipShuffle != nil {
+			out = append(out, policy.KindSkipShuffle)
+		}
+		if p.Native.ScheduleWaiter != nil {
+			out = append(out, policy.KindScheduleWaiter)
+		}
+	}
+	return out
+}
+
+// decisionKinds reports which behavioural (non-profiling) hooks the
+// policy provides; used for conflict detection when composing.
+func (p *Policy) decisionKinds() map[policy.Kind]bool {
+	out := make(map[policy.Kind]bool)
+	for _, k := range p.Kinds() {
+		if !k.IsProfiling() {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// Attachment records a policy installed on a lock.
+type Attachment struct {
+	Lock   string
+	Policy string
+
+	adapter *adapter
+	patch   *livepatch.Patch
+}
+
+// Wait blocks until the previous hook table has fully drained — the
+// livepatch consistency point.
+func (a *Attachment) Wait() { a.patch.Wait() }
+
+// Faults reports how many policy executions have faulted at runtime.
+func (a *Attachment) Faults() int64 {
+	if a.adapter == nil {
+		return 0
+	}
+	return a.adapter.Faults()
+}
+
+// Err returns the first runtime policy fault, if any.
+func (a *Attachment) Err() error {
+	if a.adapter == nil {
+		return nil
+	}
+	return a.adapter.Err()
+}
+
+// lockState is the framework's view of one registered lock.
+type lockState struct {
+	lock     locks.Lock
+	hooked   locks.Hooked
+	attached *Attachment
+	profiler *profile.Profiler
+}
+
+// Framework is the Concord control plane. All methods are safe for
+// concurrent use; the hot path (lock operations) never takes the
+// framework mutex — it only reads hook slots.
+type Framework struct {
+	topo *topology.Topology
+
+	mu       sync.Mutex
+	locks    map[string]*lockState
+	policies map[string]*Policy
+	shadow   *livepatch.ShadowStore
+}
+
+// New returns an empty framework for the given topology.
+func New(topo *topology.Topology) *Framework {
+	return &Framework{
+		topo:     topo,
+		locks:    make(map[string]*lockState),
+		policies: make(map[string]*Policy),
+		shadow:   livepatch.NewShadowStore(),
+	}
+}
+
+// Topology returns the machine topology the framework manages.
+func (f *Framework) Topology() *topology.Topology { return f.topo }
+
+// Shadow returns the framework's shadow-variable store.
+func (f *Framework) Shadow() *livepatch.ShadowStore { return f.shadow }
+
+// RegisterLock makes a lock visible to the framework (and so to
+// policies, profilers, and concordctl). The lock must support hooks.
+func (f *Framework) RegisterLock(l locks.Lock) error {
+	h, ok := l.(locks.Hooked)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotHooked, l.Name())
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.locks[l.Name()]; dup {
+		return fmt.Errorf("%w: %s", ErrLockExists, l.Name())
+	}
+	f.locks[l.Name()] = &lockState{lock: l, hooked: h}
+	return nil
+}
+
+// Lock returns a registered lock by name.
+func (f *Framework) Lock(name string) (locks.Lock, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.locks[name]
+	if !ok {
+		return nil, false
+	}
+	return st.lock, true
+}
+
+// LockInfo describes one registered lock for listings.
+type LockInfo struct {
+	Name     string
+	ID       uint64
+	Policy   string // attached policy, if any
+	Profiled bool
+}
+
+// Locks lists registered locks.
+func (f *Framework) Locks() []LockInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]LockInfo, 0, len(f.locks))
+	for name, st := range f.locks {
+		info := LockInfo{Name: name, ID: st.lock.ID(), Profiled: st.profiler != nil}
+		if st.attached != nil {
+			info.Policy = st.attached.Policy
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// LoadPolicy verifies and registers a set of programs under one policy
+// name. Each program kind may appear at most once. Verification failure
+// rejects the whole policy (Figure 1 steps 2–4).
+func (f *Framework) LoadPolicy(name string, progs ...*policy.Program) (*Policy, error) {
+	p := &Policy{
+		Name:     name,
+		Programs: make(map[policy.Kind]*policy.Program, len(progs)),
+		Verify:   make(map[policy.Kind]policy.VerifyStats, len(progs)),
+	}
+	for _, prog := range progs {
+		if _, dup := p.Programs[prog.Kind]; dup {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateKind, prog.Kind)
+		}
+		stats, err := policy.Verify(prog)
+		if err != nil {
+			return nil, err
+		}
+		p.Programs[prog.Kind] = prog
+		p.Verify[prog.Kind] = stats
+	}
+	return p, f.addPolicy(p)
+}
+
+// LoadNative registers a pre-compiled Go hook table as a policy — the
+// baseline the paper compares Concord against.
+func (f *Framework) LoadNative(name string, hooks *locks.Hooks) (*Policy, error) {
+	p := &Policy{Name: name, Native: hooks}
+	return p, f.addPolicy(p)
+}
+
+func (f *Framework) addPolicy(p *Policy) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.policies[p.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrPolicyExists, p.Name)
+	}
+	f.policies[p.Name] = p
+	return nil
+}
+
+// Policy returns a loaded policy by name.
+func (f *Framework) Policy(name string) (*Policy, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.policies[name]
+	return p, ok
+}
+
+// Policies lists loaded policy names.
+func (f *Framework) Policies() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.policies))
+	for n := range f.policies {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Compose registers a new policy combining two loaded ones. Behavioural
+// hooks must not overlap (the conflicting-policies hazard of §6);
+// profiling hooks are chained.
+func (f *Framework) Compose(name, first, second string) (*Policy, error) {
+	f.mu.Lock()
+	a, okA := f.policies[first]
+	b, okB := f.policies[second]
+	f.mu.Unlock()
+	if !okA {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchPolicy, first)
+	}
+	if !okB {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchPolicy, second)
+	}
+	ka, kb := a.decisionKinds(), b.decisionKinds()
+	for k := range ka {
+		if kb[k] {
+			return nil, fmt.Errorf("%w: both %s and %s define %s", ErrPolicyConflict, first, second, k)
+		}
+	}
+	p := &Policy{
+		Name:     name,
+		Programs: make(map[policy.Kind]*policy.Program),
+		Verify:   make(map[policy.Kind]policy.VerifyStats),
+	}
+	for k, prog := range a.Programs {
+		p.Programs[k] = prog
+		p.Verify[k] = a.Verify[k]
+	}
+	for k, prog := range b.Programs {
+		if _, dup := p.Programs[k]; dup {
+			return nil, fmt.Errorf("%w: both define %s program", ErrPolicyConflict, k)
+		}
+		p.Programs[k] = prog
+		p.Verify[k] = b.Verify[k]
+	}
+	p.Native = locks.ComposeHooks(a.Native, b.Native)
+	return p, f.addPolicy(p)
+}
+
+// Attach installs a loaded policy on a registered lock, replacing any
+// current policy, and returns the attachment whose Wait method is the
+// patch consistency point. If the policy faults at runtime the framework
+// detaches it and the lock reverts to default behaviour.
+func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
+	f.mu.Lock()
+	st, ok := f.locks[lockName]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchLock, lockName)
+	}
+	p, ok := f.policies[policyName]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchPolicy, policyName)
+	}
+
+	ad := &adapter{policyName: policyName}
+	slot := st.hooked.HookSlot()
+	ad.faultFn = func(err error) {
+		// Runtime safety valve: first fault detaches the policy.
+		slot.Replace("fault-detach:"+policyName, nil)
+	}
+	att := &Attachment{Lock: lockName, Policy: policyName, adapter: ad}
+	st.attached = att
+	hooks := f.effectiveHooks(st, p, ad)
+	f.mu.Unlock()
+
+	if r, ok := st.hooked.(interface{ ResetSafety() }); ok {
+		r.ResetSafety()
+	}
+	att.patch = slot.Replace(policyName, hooks)
+	return att, nil
+}
+
+// Detach removes the current policy from a lock (profiling, if active,
+// stays). The returned patch's Wait covers the removed hooks.
+func (f *Framework) Detach(lockName string) (*livepatch.Patch, error) {
+	f.mu.Lock()
+	st, ok := f.locks[lockName]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchLock, lockName)
+	}
+	if st.attached == nil && st.profiler == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNothingAttached, lockName)
+	}
+	st.attached = nil
+	hooks := f.effectiveHooks(st, nil, nil)
+	f.mu.Unlock()
+	return st.hooked.HookSlot().Replace("detach", hooks), nil
+}
+
+// StartProfiling attaches a profiler to the lock, composed with whatever
+// policy is installed — the selective, per-instance profiling of §3.2.
+func (f *Framework) StartProfiling(lockName string, prof *profile.Profiler) error {
+	f.mu.Lock()
+	st, ok := f.locks[lockName]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSuchLock, lockName)
+	}
+	st.profiler = prof
+	var p *Policy
+	var ad *adapter
+	if st.attached != nil {
+		p = f.policies[st.attached.Policy]
+		ad = st.attached.adapter
+	}
+	hooks := f.effectiveHooks(st, p, ad)
+	f.mu.Unlock()
+	st.hooked.HookSlot().Replace("profile:"+lockName, hooks).Wait()
+	return nil
+}
+
+// StopProfiling removes the profiler from a lock, keeping any policy.
+func (f *Framework) StopProfiling(lockName string) error {
+	f.mu.Lock()
+	st, ok := f.locks[lockName]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoSuchLock, lockName)
+	}
+	st.profiler = nil
+	var p *Policy
+	var ad *adapter
+	if st.attached != nil {
+		p = f.policies[st.attached.Policy]
+		ad = st.attached.adapter
+	}
+	hooks := f.effectiveHooks(st, p, ad)
+	f.mu.Unlock()
+	st.hooked.HookSlot().Replace("unprofile:"+lockName, hooks).Wait()
+	return nil
+}
+
+// matchLocks returns the names of registered locks matching a
+// path.Match-style pattern ("*" matches any run of characters), the
+// granularity knob of §3.2: one instance ("mmap_sem"), a subsystem
+// ("vfs.*"), or everything ("*").
+func (f *Framework) matchLocks(pattern string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for name := range f.locks {
+		ok, err := path.Match(pattern, name)
+		if err != nil {
+			return nil, fmt.Errorf("concord: bad lock pattern %q: %w", pattern, err)
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// AttachAll attaches a policy to every registered lock whose name
+// matches pattern, returning the attachments made. All-or-nothing is
+// not attempted: the error reports the first failing lock, with earlier
+// attachments left in place (inspect the returned slice).
+func (f *Framework) AttachAll(pattern, policyName string) ([]*Attachment, error) {
+	names, err := f.matchLocks(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: no lock matches %q", ErrNoSuchLock, pattern)
+	}
+	var out []*Attachment
+	for _, name := range names {
+		att, err := f.Attach(name, policyName)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, att)
+	}
+	return out, nil
+}
+
+// ProfileAll attaches one profiler to every lock matching pattern — the
+// "profile all spinlocks in this namespace" use case. It returns the
+// matched lock names.
+func (f *Framework) ProfileAll(pattern string, prof *profile.Profiler) ([]string, error) {
+	names, err := f.matchLocks(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: no lock matches %q", ErrNoSuchLock, pattern)
+	}
+	for _, name := range names {
+		if err := f.StartProfiling(name, prof); err != nil {
+			return names, err
+		}
+	}
+	return names, nil
+}
+
+// effectiveHooks builds the hook table for a lock from its policy (if
+// any) and profiler (if any). Called with f.mu held.
+func (f *Framework) effectiveHooks(st *lockState, p *Policy, ad *adapter) *locks.Hooks {
+	var hooks *locks.Hooks
+	if p != nil {
+		if len(p.Programs) > 0 && ad != nil {
+			hooks = ad.hooks(p.Programs)
+		}
+		hooks = locks.ComposeHooks(hooks, p.Native)
+		if hooks != nil {
+			hooks.Name = p.Name
+		}
+	}
+	if st.profiler != nil {
+		hooks = locks.ComposeHooks(hooks, st.profiler.Hooks(st.lock.Name()))
+	}
+	return hooks
+}

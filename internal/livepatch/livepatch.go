@@ -1,0 +1,246 @@
+// Package livepatch reimplements, in userspace, the two kernel-livepatch
+// mechanisms Concord builds on (paper §4, Figure 1 step 6):
+//
+//   - atomically redirecting a function (here: a lock's hook table) to a
+//     new implementation, with a consistency model: new invocations see
+//     the new code immediately, and the patch "lands" only once every
+//     in-flight invocation of the old code has drained;
+//   - shadow variables (§4.2), which attach out-of-band state to existing
+//     objects without recompiling them.
+//
+// The drain mechanism is an epoch reference count per published version,
+// equivalent to what kpatch achieves with stack inspection: Patch.Wait
+// returns only when no execution can still observe the replaced value.
+package livepatch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// version wraps one published value with its drain bookkeeping.
+type version[T any] struct {
+	val     *T
+	refs    atomic.Int64
+	retired atomic.Bool
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (v *version[T]) release() {
+	if v.refs.Add(-1) == 0 && v.retired.Load() {
+		v.once.Do(func() { close(v.done) })
+	}
+}
+
+// Slot is an atomically patchable cell holding a *T (for Concord, a lock
+// hook table). Readers pin the current version for the duration of one
+// invocation; writers publish a replacement and can wait for old readers
+// to drain.
+//
+// The zero Slot holds nil; use New or Replace to publish a value.
+type Slot[T any] struct {
+	cur atomic.Pointer[version[T]]
+
+	mu      sync.Mutex // serializes Replace; stack bookkeeping
+	history []*Patch
+}
+
+// NewSlot returns a slot initially holding val (which may be nil).
+func NewSlot[T any](val *T) *Slot[T] {
+	s := &Slot[T]{}
+	s.cur.Store(&version[T]{val: val, done: make(chan struct{})})
+	return s
+}
+
+// Held is a pinned reference to one published version. It is a plain
+// value (no allocation on the hot path); Release must be called exactly
+// once. The zero Held is a valid no-op.
+type Held[T any] struct{ v *version[T] }
+
+// Release unpins the version; any Patch waiting on it may then complete.
+func (h Held[T]) Release() {
+	if h.v != nil {
+		h.v.release()
+	}
+}
+
+// Get pins and returns the current value together with a Held handle.
+// The caller must call Release exactly once when it no longer uses the
+// value; until then, any Patch that replaced this version does not
+// complete.
+//
+// Get never blocks and is safe from any goroutine; the fast path is two
+// atomic operations plus a validation load, with no allocation.
+func (s *Slot[T]) Get() (*T, Held[T]) {
+	for {
+		v := s.cur.Load()
+		if v == nil {
+			return nil, Held[T]{}
+		}
+		v.refs.Add(1)
+		if s.cur.Load() == v {
+			return v.val, Held[T]{v: v}
+		}
+		// A Replace won the race between our load and pin; back out and
+		// retry against the new version.
+		v.release()
+	}
+}
+
+// Peek returns the current value without pinning. Use only when the
+// value is immutable or the caller tolerates tearing against Replace.
+func (s *Slot[T]) Peek() *T {
+	if v := s.cur.Load(); v != nil {
+		return v.val
+	}
+	return nil
+}
+
+// Patch is an in-progress or completed replacement of a slot's value.
+type Patch struct {
+	wait     func()
+	rollback func() *Patch
+	name     string
+}
+
+// Name reports the label given at Replace time.
+func (p *Patch) Name() string { return p.name }
+
+// Wait blocks until every Get that returned the *previous* value has
+// released it — the livepatch consistency point. After Wait, no code is
+// still running against the replaced hooks.
+func (p *Patch) Wait() { p.wait() }
+
+// Rollback re-publishes the value this patch replaced and returns the
+// resulting patch (whose Wait drains users of the rolled-back value).
+func (p *Patch) Rollback() *Patch { return p.rollback() }
+
+// Replace atomically publishes val and returns a Patch. Concurrent
+// Replace calls serialize; each patch's Wait covers the version it
+// displaced.
+func (s *Slot[T]) Replace(name string, val *T) *Patch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replaceLocked(name, val)
+}
+
+func (s *Slot[T]) replaceLocked(name string, val *T) *Patch {
+	next := &version[T]{val: val, done: make(chan struct{})}
+	old := s.cur.Swap(next)
+
+	wait := func() {}
+	var oldVal *T
+	if old != nil {
+		oldVal = old.val
+		old.retired.Store(true)
+		if old.refs.Load() == 0 {
+			old.once.Do(func() { close(old.done) })
+		}
+		wait = func() { <-old.done }
+	}
+	p := &Patch{name: name, wait: wait}
+	p.rollback = func() *Patch {
+		return s.Replace(name+"(rollback)", oldVal)
+	}
+	s.history = append(s.history, p)
+	return p
+}
+
+// Depth reports how many patches have been applied to this slot.
+func (s *Slot[T]) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.history)
+}
+
+// --- Shadow variables ---
+
+type shadowKey struct {
+	obj any
+	id  uint64
+}
+
+// ShadowStore attaches out-of-band data to existing objects, mirroring
+// the kernel's klp_shadow_* API. Concord uses it to extend lock queue
+// nodes with policy-specific state without changing their layout (§4.2).
+type ShadowStore struct {
+	mu sync.RWMutex
+	m  map[shadowKey]any
+}
+
+// NewShadowStore returns an empty store.
+func NewShadowStore() *ShadowStore {
+	return &ShadowStore{m: make(map[shadowKey]any)}
+}
+
+// Get returns the shadow value attached to (obj, id), if any.
+func (s *ShadowStore) Get(obj any, id uint64) (any, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[shadowKey{obj, id}]
+	return v, ok
+}
+
+// GetOrAlloc returns the shadow value for (obj, id), calling ctor to
+// create it if absent (klp_shadow_get_or_alloc). ctor runs at most once
+// per key.
+func (s *ShadowStore) GetOrAlloc(obj any, id uint64, ctor func() any) any {
+	k := shadowKey{obj, id}
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok = s.m[k]; ok {
+		return v
+	}
+	v = ctor()
+	s.m[k] = v
+	return v
+}
+
+// Attach stores a shadow value, replacing any existing one.
+func (s *ShadowStore) Attach(obj any, id uint64, val any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[shadowKey{obj, id}] = val
+}
+
+// Detach removes the shadow value for (obj, id), reporting whether one
+// existed (klp_shadow_free).
+func (s *ShadowStore) Detach(obj any, id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := shadowKey{obj, id}
+	if _, ok := s.m[k]; !ok {
+		return false
+	}
+	delete(s.m, k)
+	return true
+}
+
+// FreeAll removes every shadow value with the given id across all
+// objects (klp_shadow_free_all).
+func (s *ShadowStore) FreeAll(id uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.m {
+		if k.id == id {
+			delete(s.m, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of attached shadow values.
+func (s *ShadowStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -1,0 +1,235 @@
+package livepatch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSlotBasics(t *testing.T) {
+	v1 := "one"
+	s := NewSlot(&v1)
+	got, release := s.Get()
+	if got == nil || *got != "one" {
+		t.Fatalf("Get = %v", got)
+	}
+	release.Release()
+	if p := s.Peek(); p == nil || *p != "one" {
+		t.Fatalf("Peek = %v", p)
+	}
+}
+
+func TestZeroSlotHoldsNil(t *testing.T) {
+	var s Slot[int]
+	got, release := s.Get()
+	if got != nil {
+		t.Fatalf("zero slot Get = %v, want nil", got)
+	}
+	release.Release() // must not panic
+	if s.Peek() != nil {
+		t.Fatal("zero slot Peek non-nil")
+	}
+}
+
+func TestReplaceVisibleImmediately(t *testing.T) {
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+	s.Replace("p1", &v2)
+	got, release := s.Get()
+	defer release.Release()
+	if *got != 2 {
+		t.Fatalf("after replace: %d, want 2", *got)
+	}
+}
+
+func TestPatchWaitDrainsOldReaders(t *testing.T) {
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+
+	old, release := s.Get() // pin old version
+	if *old != 1 {
+		t.Fatal("wrong pin")
+	}
+
+	p := s.Replace("p1", &v2)
+	done := make(chan struct{})
+	go func() {
+		p.Wait()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("Wait returned while old reader still pinned")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	release.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not return after release")
+	}
+}
+
+func TestPatchWaitImmediateWhenUnpinned(t *testing.T) {
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+	p := s.Replace("p1", &v2)
+	ch := make(chan struct{})
+	go func() { p.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Wait hung with no readers")
+	}
+}
+
+func TestRollback(t *testing.T) {
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+	p := s.Replace("p1", &v2)
+	p.Wait()
+	rb := p.Rollback()
+	rb.Wait()
+	got, release := s.Get()
+	defer release.Release()
+	if *got != 1 {
+		t.Fatalf("after rollback: %d, want 1", *got)
+	}
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2 (patch + rollback)", s.Depth())
+	}
+}
+
+func TestConcurrentGetReplace(t *testing.T) {
+	vals := make([]*int, 8)
+	for i := range vals {
+		v := i
+		vals[i] = &v
+	}
+	s := NewSlot(vals[0])
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var reads atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				v, release := s.Get()
+				if v == nil || *v < 0 || *v >= 8 {
+					t.Errorf("bad value %v", v)
+					release.Release()
+					return
+				}
+				reads.Add(1)
+				release.Release()
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		p := s.Replace("p", vals[i%8])
+		p.Wait() // must never deadlock against the readers
+	}
+	// On a single-CPU host the readers may not have been scheduled yet;
+	// give them a chance before stopping.
+	for reads.Load() == 0 {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Error("no reads observed")
+	}
+}
+
+func TestWaitCoversOnlyDisplacedVersion(t *testing.T) {
+	v1, v2, v3 := 1, 2, 3
+	s := NewSlot(&v1)
+	p1 := s.Replace("p1", &v2)
+	p1.Wait()
+
+	// Pin v2, then replace with v3: p2 must block, but a fresh patch p3
+	// displacing v3 (unpinned) must not.
+	_, release := s.Get()
+	p2 := s.Replace("p2", &v3)
+
+	blocked := make(chan struct{})
+	go func() { p2.Wait(); close(blocked) }()
+	select {
+	case <-blocked:
+		t.Fatal("p2.Wait returned while v2 pinned")
+	case <-time.After(10 * time.Millisecond):
+	}
+	release.Release()
+	<-blocked
+}
+
+func TestShadowStore(t *testing.T) {
+	s := NewShadowStore()
+	type obj struct{ x int }
+	o1, o2 := &obj{1}, &obj{2}
+
+	if _, ok := s.Get(o1, 1); ok {
+		t.Fatal("empty store Get ok")
+	}
+	calls := 0
+	v := s.GetOrAlloc(o1, 1, func() any { calls++; return "shadow1" })
+	if v != "shadow1" || calls != 1 {
+		t.Fatalf("alloc: %v, calls=%d", v, calls)
+	}
+	// Second call returns the cached value without re-running ctor.
+	v = s.GetOrAlloc(o1, 1, func() any { calls++; return "other" })
+	if v != "shadow1" || calls != 1 {
+		t.Fatalf("cached: %v, calls=%d", v, calls)
+	}
+	// Distinct ids and objects are independent.
+	s.Attach(o1, 2, "id2")
+	s.Attach(o2, 1, "obj2")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if v, _ := s.Get(o2, 1); v != "obj2" {
+		t.Fatalf("o2 shadow: %v", v)
+	}
+	if !s.Detach(o1, 1) || s.Detach(o1, 1) {
+		t.Fatal("detach semantics")
+	}
+	if n := s.FreeAll(1); n != 1 {
+		t.Fatalf("FreeAll(1) = %d, want 1", n)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestShadowStoreConcurrentGetOrAlloc(t *testing.T) {
+	s := NewShadowStore()
+	obj := new(int)
+	var ctorCalls atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]any, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.GetOrAlloc(obj, 7, func() any {
+				ctorCalls.Add(1)
+				return new(struct{})
+			})
+		}(i)
+	}
+	wg.Wait()
+	if ctorCalls.Load() != 1 {
+		t.Fatalf("ctor ran %d times, want 1", ctorCalls.Load())
+	}
+	for _, r := range results {
+		if r != results[0] {
+			t.Fatal("GetOrAlloc returned different values")
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"concord/internal/task"
+)
+
+// bravoTableSize is the visible-readers table size. Dice & Kogan use a
+// large global table; a per-lock table of this size behaves identically
+// for the workloads here and keeps locks independent.
+const bravoTableSize = 1024
+
+// bravoInhibitMultiplier N: after a revocation costing R ns, biasing is
+// re-enabled only after N*R ns, bounding worst-case writer slowdown to
+// roughly 1/N (the paper's accounting argument).
+const bravoInhibitMultiplier = 9
+
+// BRAVO wraps any readers-writer lock with Biased Locking for
+// Reader-Writer locks (Dice & Kogan, ATC '19), the second lock evaluated
+// in the paper (Figure 2(a)). While the bias is enabled, readers publish
+// themselves in a visible-readers slot and skip the underlying lock
+// entirely; a writer revokes the bias by flipping it off and waiting for
+// every slot to drain, then inhibits re-biasing for a window proportional
+// to the revocation cost.
+//
+// Concord's lock-switching use case (§3.1.1) maps to toggling this bias
+// at runtime: SetBias(false) degrades the lock to its neutral underlying
+// implementation, SetBias(true) restores the distributed reader path.
+type BRAVO struct {
+	hookable
+	under RWLock
+
+	bias         atomic.Bool
+	inhibitUntil atomic.Int64
+	table        [bravoTableSize]atomic.Pointer[task.T]
+
+	// fastReads / slowReads count read acquisitions taking each path
+	// (reports and tests).
+	fastReads atomic.Int64
+	slowReads atomic.Int64
+}
+
+// NewBRAVO wraps under with reader biasing (initially enabled).
+func NewBRAVO(name string, under RWLock) *BRAVO {
+	b := &BRAVO{hookable: newHookable(name), under: under}
+	b.bias.Store(true)
+	return b
+}
+
+// Underlying returns the wrapped lock.
+func (b *BRAVO) Underlying() RWLock { return b.under }
+
+// Biased reports whether reader biasing is currently enabled.
+func (b *BRAVO) Biased() bool { return b.bias.Load() }
+
+// SetBias forces the bias state; turning it off performs a writer-style
+// revocation so no fast reader remains published. This is the switch a
+// Concord lock-switching policy flips.
+func (b *BRAVO) SetBias(on bool) {
+	if on {
+		b.bias.Store(true)
+		return
+	}
+	if b.bias.CompareAndSwap(true, false) {
+		b.revoke()
+	}
+}
+
+// ReadCounts reports fast-path and slow-path read acquisitions.
+func (b *BRAVO) ReadCounts() (fast, slow int64) {
+	return b.fastReads.Load(), b.slowReads.Load()
+}
+
+func (b *BRAVO) slotFor(t *task.T) *atomic.Pointer[task.T] {
+	// Mix task identity; a multiplicative hash suffices for slot spread.
+	h := uint64(t.ID()) * 0x9e3779b97f4a7c15
+	return &b.table[h%bravoTableSize]
+}
+
+// RLock implements RWLock.
+func (b *BRAVO) RLock(t *task.T) {
+	start := b.now()
+	if h, release := b.getHooks(); h != nil {
+		if h.OnAcquire != nil {
+			h.OnAcquire(&Event{LockID: b.id, Task: t, NowNS: start, Reader: true})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+
+	if b.bias.Load() {
+		slot := b.slotFor(t)
+		if slot.CompareAndSwap(nil, t) {
+			if b.bias.Load() {
+				// Fast path: published as a visible reader.
+				b.fastReads.Add(1)
+				b.finishRead(t, start)
+				return
+			}
+			// Bias was revoked between the check and the publish; back
+			// out and take the slow path.
+			slot.Store(nil)
+		}
+	}
+
+	b.under.RLock(t)
+	b.slowReads.Add(1)
+	// Readers re-enable the bias once the inhibition window has passed.
+	if !b.bias.Load() && b.now() >= b.inhibitUntil.Load() {
+		b.bias.Store(true)
+	}
+	b.finishRead(t, start)
+}
+
+// TryRLock implements RWLock.
+func (b *BRAVO) TryRLock(t *task.T) bool {
+	start := b.now()
+	if b.bias.Load() {
+		slot := b.slotFor(t)
+		if slot.CompareAndSwap(nil, t) {
+			if b.bias.Load() {
+				b.fastReads.Add(1)
+				b.finishRead(t, start)
+				return true
+			}
+			slot.Store(nil)
+		}
+	}
+	if b.under.TryRLock(t) {
+		b.slowReads.Add(1)
+		b.finishRead(t, start)
+		return true
+	}
+	return false
+}
+
+func (b *BRAVO) finishRead(t *task.T, start int64) {
+	now := b.now()
+	if h, release := b.getHooks(); h != nil {
+		if h.OnAcquired != nil {
+			h.OnAcquired(&Event{
+				LockID: b.id, Task: t, NowNS: now, WaitNS: now - start, Reader: true,
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	t.NoteAcquired(b.id)
+}
+
+// RUnlock implements RWLock.
+func (b *BRAVO) RUnlock(t *task.T) {
+	slot := b.slotFor(t)
+	if slot.Load() == t {
+		slot.Store(nil)
+	} else {
+		b.under.RUnlock(t)
+	}
+	t.NoteReleased(b.id)
+	if h, release := b.getHooks(); h != nil {
+		if h.OnRelease != nil {
+			h.OnRelease(&Event{LockID: b.id, Task: t, NowNS: b.now(), Reader: true})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+}
+
+// Lock implements Lock (writer side): take the underlying write lock,
+// then revoke the bias so no fast readers remain.
+func (b *BRAVO) Lock(t *task.T) {
+	b.under.Lock(t)
+	if b.bias.Load() {
+		b.bias.Store(false)
+		b.revoke()
+	}
+	t.NoteAcquired(b.id)
+	t.EnterCS(b.now())
+}
+
+// TryLock implements Lock.
+func (b *BRAVO) TryLock(t *task.T) bool {
+	if !b.under.TryLock(t) {
+		return false
+	}
+	if b.bias.Load() {
+		b.bias.Store(false)
+		b.revoke()
+	}
+	t.NoteAcquired(b.id)
+	t.EnterCS(b.now())
+	return true
+}
+
+// revoke waits for every visible-reader slot to drain, then arms the
+// re-bias inhibition window proportional to the revocation cost.
+func (b *BRAVO) revoke() {
+	start := b.now()
+	for i := range b.table {
+		for j := 0; b.table[i].Load() != nil; j++ {
+			spinYield(j)
+		}
+	}
+	cost := b.now() - start
+	b.inhibitUntil.Store(b.now() + cost*bravoInhibitMultiplier)
+}
+
+// Unlock implements Lock (writer side).
+func (b *BRAVO) Unlock(t *task.T) {
+	t.ExitCS(b.now())
+	t.NoteReleased(b.id)
+	b.under.Unlock(t)
+}
+
+var _ RWLock = (*BRAVO)(nil)

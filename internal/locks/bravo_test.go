@@ -1,0 +1,227 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"concord/internal/task"
+	"concord/internal/topology"
+)
+
+func TestBRAVOFastPathWhenBiased(t *testing.T) {
+	topo := testTopo()
+	b := NewBRAVO("b", NewRWSem("under"))
+	tk := task.New(topo)
+
+	for i := 0; i < 10; i++ {
+		b.RLock(tk)
+		b.RUnlock(tk)
+	}
+	fast, slow := b.ReadCounts()
+	if fast != 10 || slow != 0 {
+		t.Errorf("fast=%d slow=%d, want 10/0", fast, slow)
+	}
+	// The underlying lock must never have seen a reader.
+	if b.Underlying().(*RWSem).Readers() != 0 {
+		t.Error("reader leaked into underlying lock")
+	}
+}
+
+func TestBRAVOWriterRevokesBias(t *testing.T) {
+	topo := testTopo()
+	b := NewBRAVO("b", NewRWSem("under"))
+	r, w := task.New(topo), task.New(topo)
+
+	b.RLock(r)
+	b.RUnlock(r)
+	if !b.Biased() {
+		t.Fatal("bias should start enabled")
+	}
+
+	b.Lock(w)
+	if b.Biased() {
+		t.Error("bias survived a writer")
+	}
+	b.Unlock(w)
+
+	// Immediately after revocation, readers take the slow path.
+	b.RLock(r)
+	b.RUnlock(r)
+	_, slow := b.ReadCounts()
+	if slow == 0 {
+		t.Error("post-revocation read did not use slow path")
+	}
+}
+
+func TestBRAVORebiasAfterInhibitWindow(t *testing.T) {
+	topo := testTopo()
+	b := NewBRAVO("b", NewRWSem("under"))
+	var clock atomic.Int64
+	clock.Store(1)
+	b.SetClock(func() int64 { return clock.Load() })
+
+	r, w := task.New(topo), task.New(topo)
+	b.Lock(w)
+	b.Unlock(w) // revokes; inhibitUntil = now + cost*multiplier
+
+	b.RLock(r)
+	b.RUnlock(r)
+	if b.Biased() {
+		// With a frozen clock, cost was 0 so the window is 0 and rebias
+		// is immediate — advance the clock variant below covers the
+		// non-zero case. Either way the reader must eventually rebias.
+		t.Log("rebias happened immediately (zero-cost revocation)")
+	}
+
+	// Force a measurable revocation window.
+	b.Lock(w)
+	clock.Add(100) // revocation "takes" 100ns
+	b.Unlock(w)
+	// (revoke happens inside Lock; emulate its cost by advancing during)
+	b.RLock(r)
+	b.RUnlock(r)
+	clock.Add(1_000_000)
+	b.RLock(r)
+	b.RUnlock(r)
+	if !b.Biased() {
+		t.Error("bias never re-enabled after inhibition window")
+	}
+}
+
+func TestBRAVOSetBias(t *testing.T) {
+	topo := testTopo()
+	b := NewBRAVO("b", NewRWSem("under"))
+	tk := task.New(topo)
+
+	b.SetBias(false)
+	if b.Biased() {
+		t.Fatal("SetBias(false) ignored")
+	}
+	b.RLock(tk)
+	b.RUnlock(tk)
+	fast, slow := b.ReadCounts()
+	if fast != 0 || slow == 0 {
+		t.Errorf("unbiased read took fast path: fast=%d slow=%d", fast, slow)
+	}
+
+	b.SetBias(true)
+	b.RLock(tk)
+	b.RUnlock(tk)
+	fast, _ = b.ReadCounts()
+	if fast == 0 {
+		t.Error("biased read did not take fast path")
+	}
+}
+
+func TestBRAVOSlotCollisionFallsBack(t *testing.T) {
+	topo := testTopo()
+	b := NewBRAVO("b", NewRWSem("under"))
+	t1 := task.New(topo)
+
+	// Occupy t1's slot directly to simulate a hash collision.
+	slot := b.slotFor(t1)
+	intruder := task.New(topo)
+	slot.Store(intruder)
+
+	b.RLock(t1) // must fall back to the underlying lock
+	if b.Underlying().(*RWSem).Readers() != 1 {
+		t.Error("collision read did not reach underlying lock")
+	}
+	b.RUnlock(t1)
+	if b.Underlying().(*RWSem).Readers() != 0 {
+		t.Error("collision unlock mismatched")
+	}
+	if slot.Load() != intruder {
+		t.Error("collision unlock cleared someone else's slot")
+	}
+	slot.Store(nil)
+}
+
+func TestBRAVOConcurrentReadersAndWriters(t *testing.T) {
+	topo := topology.Paper()
+	b := NewBRAVO("b", NewRWSem("under"))
+	var data, checksum int64
+	var wg sync.WaitGroup
+
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for i := 0; i < 300; i++ {
+				b.RLock(tk)
+				v := atomic.LoadInt64(&data)
+				if v < 0 {
+					t.Error("reader saw torn state")
+				}
+				b.RUnlock(tk)
+				if i&15 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for i := 0; i < 50; i++ {
+				b.Lock(tk)
+				atomic.StoreInt64(&data, -1) // visible only inside CS
+				runtime.Gosched()
+				atomic.StoreInt64(&data, 0)
+				atomic.AddInt64(&checksum, 1)
+				b.Unlock(tk)
+			}
+		}()
+	}
+	wg.Wait()
+	if checksum != 100 {
+		t.Errorf("writers completed %d, want 100", checksum)
+	}
+}
+
+func TestBRAVOWriterSeesNoFastReaders(t *testing.T) {
+	// The crux of BRAVO: after Lock returns, no fast-path reader can be
+	// inside the critical section.
+	topo := testTopo()
+	b := NewBRAVO("b", NewRWSem("under"))
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.RLock(tk)
+				inside.Add(1)
+				runtime.Gosched()
+				inside.Add(-1)
+				b.RUnlock(tk)
+			}
+		}()
+	}
+
+	wtk := task.New(topo)
+	for i := 0; i < 30; i++ {
+		b.Lock(wtk)
+		if inside.Load() != 0 {
+			t.Error("writer entered with readers inside")
+		}
+		b.Unlock(wtk)
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+}

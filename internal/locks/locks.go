@@ -1,0 +1,231 @@
+// Package locks is a library of kernel-style lock algorithms implemented
+// with Go atomics, structured the way the paper needs them: every
+// decision point a Concord policy can influence is factored into a hook
+// table (Table 1's seven APIs) that can be replaced at runtime through
+// the livepatch slot, without touching the lock's code.
+//
+// The roster mirrors the lock lineage the paper recounts in §2.2: test-
+// and-set and ticket spinlocks, MCS/CLH queue locks, cohort (hierarchical)
+// NUMA locks, CNA, ShflLock (the primary policy target), a neutral
+// blocking readers-writer semaphore, BRAVO reader biasing, and a
+// per-socket distributed readers-writer lock (the "switch to a
+// readers-intensive design" target of §3.1.1).
+//
+// Execution substrate note: threads are goroutines with a virtual CPU
+// identity from internal/topology; spin loops always yield
+// (runtime.Gosched) so the algorithms behave on hosts with any CPU
+// count, including the single-CPU machine this repository is developed
+// on. Contention, queueing, ordering and hook behaviour — the properties
+// the paper's evaluation exercises — are unaffected.
+package locks
+
+import (
+	"sync/atomic"
+	"time"
+
+	"concord/internal/livepatch"
+	"concord/internal/task"
+)
+
+// Lock is a mutual-exclusion lock taking the acquiring task explicitly
+// (the userspace stand-in for the kernel's implicit `current`).
+type Lock interface {
+	// Lock acquires the lock for t, blocking until available.
+	Lock(t *task.T)
+	// TryLock attempts a non-blocking acquisition.
+	TryLock(t *task.T) bool
+	// Unlock releases the lock.
+	Unlock(t *task.T)
+	// ID is the lock's unique identity (used by policies and profiling).
+	ID() uint64
+	// Name is a human-readable label.
+	Name() string
+}
+
+// RWLock adds shared (reader) acquisitions.
+type RWLock interface {
+	Lock
+	// RLock acquires the lock shared.
+	RLock(t *task.T)
+	// TryRLock attempts a non-blocking shared acquisition.
+	TryRLock(t *task.T) bool
+	// RUnlock releases a shared acquisition.
+	RUnlock(t *task.T)
+}
+
+// Hooked is implemented by locks whose behaviour Concord can patch.
+type Hooked interface {
+	// HookSlot returns the livepatch slot holding the lock's hook table.
+	HookSlot() *livepatch.Slot[Hooks]
+}
+
+// Waiter is the read-only view of a queued waiter that policies examine
+// (the paper's shuffler_node / curr_node arguments).
+type Waiter struct {
+	// Task is the waiting task.
+	Task *task.T
+	// EnqueueNS is when the waiter joined the queue.
+	EnqueueNS int64
+
+	// bypass counts how many times the shuffler moved another waiter
+	// ahead of this one; the runtime starvation bound reads it.
+	bypass atomic.Int32
+}
+
+// Bypassed reports how many waiters have been shuffled ahead of this one.
+func (w *Waiter) Bypassed() int { return int(w.bypass.Load()) }
+
+// WaitNS reports how long the waiter has been queued as of now.
+func (w *Waiter) WaitNS(now int64) int64 { return now - w.EnqueueNS }
+
+// ShuffleInfo is the context handed to shuffling hooks.
+type ShuffleInfo struct {
+	LockID   uint64
+	NowNS    int64
+	QueueLen int
+	Round    int
+	Batch    int
+	Shuffler *Waiter
+	Curr     *Waiter // nil for skip_shuffle
+}
+
+// WaitInfo is the context handed to the schedule_waiter hook.
+type WaitInfo struct {
+	LockID       uint64
+	NowNS        int64
+	QueueLen     int
+	WaitersAhead int
+	SpinNS       int64
+	// HolderCSAvg is the current holder's mean critical-section length
+	// (0 when unknown), for sizing spin windows.
+	HolderCSAvg int64
+	Curr        *Waiter
+}
+
+// Wait decisions returned by ScheduleWaiter (mirroring policy.Waiter*).
+const (
+	// WaitDefault keeps the built-in spin-then-park behaviour.
+	WaitDefault = 0
+	// WaitKeepSpinning suppresses parking.
+	WaitKeepSpinning = 1
+	// WaitParkNow parks immediately.
+	WaitParkNow = 2
+)
+
+// Event describes one profiling hook invocation (Table 1's last four
+// APIs).
+type Event struct {
+	LockID   uint64
+	Task     *task.T
+	NowNS    int64
+	WaitNS   int64 // acquired: time spent waiting
+	HoldNS   int64 // release: time the lock was held
+	QueueLen int
+	Reader   bool
+}
+
+// Hooks is the patchable behaviour table of a lock: the seven Concord
+// APIs of Table 1. Nil members keep the lock's built-in behaviour. A
+// whole-table swap through the livepatch slot is how Concord changes a
+// lock "implementation" on the fly.
+type Hooks struct {
+	// Name labels the installed policy (for reports).
+	Name string
+
+	// CmpNode decides whether the shuffler should move info.Curr into
+	// its batch (Table 1: cmp_node). Hazard: fairness.
+	CmpNode func(info *ShuffleInfo) bool
+	// SkipShuffle decides whether to skip this shuffling round
+	// (Table 1: skip_shuffle). Hazard: fairness.
+	SkipShuffle func(info *ShuffleInfo) bool
+	// ScheduleWaiter picks the waiting strategy for a queued waiter
+	// (Table 1: schedule_waiter). Hazard: performance.
+	ScheduleWaiter func(info *WaitInfo) int
+
+	// Profiling hooks (Table 1: lock_acquire/contended/acquired/release).
+	// Hazard: lengthening the critical section.
+	OnAcquire   func(ev *Event)
+	OnContended func(ev *Event)
+	OnAcquired  func(ev *Event)
+	OnRelease   func(ev *Event)
+}
+
+// lockIDs allocates process-unique lock identities.
+var lockIDs atomic.Uint64
+
+// NextLockID returns a fresh lock ID. The first 64 IDs are trackable in
+// task held-lock masks (see task.MaxTrackedLockID).
+func NextLockID() uint64 { return lockIDs.Add(1) - 1 }
+
+// nowNS is the default clock.
+func nowNS() int64 { return time.Now().UnixNano() }
+
+// hookable is the embeddable base wiring a lock to its hook slot.
+type hookable struct {
+	id   uint64
+	name string
+	slot *livepatch.Slot[Hooks]
+	now  func() int64
+
+	// disabled is set by runtime safety checks when an attached policy
+	// violated an invariant; hooks are then ignored until re-patched.
+	disabled atomic.Bool
+	// safetyErr records why hooks were disabled.
+	safetyErr atomic.Pointer[string]
+}
+
+func newHookable(name string) hookable {
+	return hookable{
+		id:   NextLockID(),
+		name: name,
+		slot: livepatch.NewSlot[Hooks](nil),
+		now:  nowNS,
+	}
+}
+
+// ID implements Lock.
+func (h *hookable) ID() uint64 { return h.id }
+
+// Name implements Lock.
+func (h *hookable) Name() string { return h.name }
+
+// HookSlot implements Hooked.
+func (h *hookable) HookSlot() *livepatch.Slot[Hooks] { return h.slot }
+
+// SetClock overrides the lock's clock (deterministic tests).
+func (h *hookable) SetClock(now func() int64) { h.now = now }
+
+// SafetyError returns the message recorded when runtime checks disabled
+// an attached policy, or "" if none fired.
+func (h *hookable) SafetyError() string {
+	if p := h.safetyErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// disablePolicy is the runtime safety valve (paper §4.2): when an
+// invariant check fails, the lock stops consulting hooks and records why.
+// Mutual exclusion was never at risk — hooks only return decisions — but
+// a policy that corrupts fairness accounting is quarantined.
+func (h *hookable) disablePolicy(msg string) {
+	h.safetyErr.Store(&msg)
+	h.disabled.Store(true)
+}
+
+// ResetSafety re-enables hook dispatch after a safety trip (used when a
+// new policy is attached).
+func (h *hookable) ResetSafety() {
+	h.safetyErr.Store(nil)
+	h.disabled.Store(false)
+}
+
+// getHooks pins the current hook table; the caller must call Release on
+// the returned handle. Returns nil hooks when none are attached or
+// safety checks tripped.
+func (h *hookable) getHooks() (*Hooks, livepatch.Held[Hooks]) {
+	if h.disabled.Load() {
+		return nil, livepatch.Held[Hooks]{}
+	}
+	return h.slot.Get()
+}

@@ -1,0 +1,147 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"concord/internal/task"
+)
+
+// --- MCS lock ---
+
+// mcsNode is one waiter's queue entry. Nodes are per-acquisition and
+// heap-allocated; a sync.Pool would remove the allocation but would also
+// blur the algorithmic comparison, so we keep it explicit.
+type mcsNode struct {
+	locked atomic.Bool // true while the owner must wait
+	next   atomic.Pointer[mcsNode]
+}
+
+// MCSLock is the classic Mellor-Crummey/Scott queue lock: each waiter
+// spins on its own node, so handoff costs a single cacheline transfer.
+// This is the structural ancestor of qspinlock and ShflLock (§2.2).
+type MCSLock struct {
+	profBase
+	tail atomic.Pointer[mcsNode]
+	// owner holds the queue node of the current lock holder; a kernel
+	// MCS keeps it on the holder's stack, here the lock carries it.
+	owner atomic.Pointer[mcsNode]
+}
+
+// NewMCSLock returns an MCS queue spinlock.
+func NewMCSLock(name string) *MCSLock {
+	return &MCSLock{profBase: profBase{hookable: newHookable(name)}}
+}
+
+// Lock implements Lock.
+func (l *MCSLock) Lock(t *task.T) {
+	start := l.noteAcquire(t)
+	n := &mcsNode{}
+	prev := l.tail.Swap(n)
+	if prev != nil {
+		n.locked.Store(true)
+		prev.next.Store(n)
+		l.noteContended(t, start)
+		for i := 0; n.locked.Load(); i++ {
+			spinYield(i)
+		}
+	}
+	l.owner.Store(n)
+	l.noteAcquired(t, start, false)
+}
+
+// TryLock implements Lock.
+func (l *MCSLock) TryLock(t *task.T) bool {
+	start := l.noteAcquire(t)
+	n := &mcsNode{}
+	if !l.tail.CompareAndSwap(nil, n) {
+		return false
+	}
+	l.owner.Store(n)
+	l.noteAcquired(t, start, false)
+	return true
+}
+
+// Unlock implements Lock.
+func (l *MCSLock) Unlock(t *task.T) {
+	l.noteRelease(t, false)
+	n := l.owner.Load()
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		// An enqueue is in flight; wait for its next-pointer store.
+		for i := 0; ; i++ {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			spinYield(i)
+		}
+	}
+	next.locked.Store(false)
+}
+
+// --- CLH lock ---
+
+// clhNode is a CLH queue entry; waiters spin on their *predecessor's*
+// node rather than their own.
+type clhNode struct {
+	locked atomic.Bool
+}
+
+// CLHLock is the Craig/Landin/Hagersten queue lock: implicit queue
+// through a swapped tail pointer, spinning on the predecessor's flag.
+type CLHLock struct {
+	profBase
+	tail atomic.Pointer[clhNode]
+	cur  atomic.Pointer[clhNode] // owner's node, released on unlock
+}
+
+// NewCLHLock returns a CLH queue spinlock.
+func NewCLHLock(name string) *CLHLock {
+	l := &CLHLock{profBase: profBase{hookable: newHookable(name)}}
+	n := &clhNode{} // sentinel: initially unlocked
+	l.tail.Store(n)
+	return l
+}
+
+// Lock implements Lock.
+func (l *CLHLock) Lock(t *task.T) {
+	start := l.noteAcquire(t)
+	n := &clhNode{}
+	n.locked.Store(true)
+	prev := l.tail.Swap(n)
+	if prev.locked.Load() {
+		l.noteContended(t, start)
+		for i := 0; prev.locked.Load(); i++ {
+			spinYield(i)
+		}
+	}
+	l.cur.Store(n)
+	l.noteAcquired(t, start, false)
+}
+
+// TryLock implements Lock.
+func (l *CLHLock) TryLock(t *task.T) bool {
+	start := l.noteAcquire(t)
+	prev := l.tail.Load()
+	if prev.locked.Load() {
+		return false
+	}
+	n := &clhNode{}
+	n.locked.Store(true)
+	if !l.tail.CompareAndSwap(prev, n) {
+		return false
+	}
+	// prev was unlocked and cannot re-lock (nodes are single-use), so we
+	// own the lock immediately.
+	l.cur.Store(n)
+	l.noteAcquired(t, start, false)
+	return true
+}
+
+// Unlock implements Lock.
+func (l *CLHLock) Unlock(t *task.T) {
+	l.noteRelease(t, false)
+	l.cur.Load().locked.Store(false)
+}

@@ -1,0 +1,137 @@
+package locks
+
+import (
+	"sync"
+
+	"concord/internal/task"
+)
+
+// RWSem is the "stock" neutral readers-writer semaphore: a single shared
+// structure that every reader and writer serializes through, in the
+// style of Linux's rwsem. Its read-side centralization is precisely the
+// scalability weakness that Figure 2(a)'s page_fault2 benchmark exposes
+// and that BRAVO/per-socket designs fix (§3.1.1 "Lock switching").
+//
+// Writers waiting block new readers, the usual anti-starvation rule.
+type RWSem struct {
+	profBase
+	mu             sync.Mutex
+	readers        int
+	writer         bool
+	writersWaiting int
+	readerCond     *sync.Cond
+	writerCond     *sync.Cond
+}
+
+// NewRWSem returns a neutral blocking readers-writer semaphore.
+func NewRWSem(name string) *RWSem {
+	s := &RWSem{profBase: profBase{hookable: newHookable(name)}}
+	s.readerCond = sync.NewCond(&s.mu)
+	s.writerCond = sync.NewCond(&s.mu)
+	return s
+}
+
+// RLock implements RWLock.
+func (s *RWSem) RLock(t *task.T) {
+	start := s.noteAcquire(t)
+	s.mu.Lock()
+	if s.writer || s.writersWaiting > 0 {
+		s.mu.Unlock()
+		s.noteContended(t, start)
+		s.mu.Lock()
+		for s.writer || s.writersWaiting > 0 {
+			s.readerCond.Wait()
+		}
+	}
+	s.readers++
+	s.mu.Unlock()
+	s.noteAcquired(t, start, true)
+}
+
+// TryRLock implements RWLock.
+func (s *RWSem) TryRLock(t *task.T) bool {
+	start := s.noteAcquire(t)
+	s.mu.Lock()
+	if s.writer || s.writersWaiting > 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.readers++
+	s.mu.Unlock()
+	s.noteAcquired(t, start, true)
+	return true
+}
+
+// RUnlock implements RWLock.
+func (s *RWSem) RUnlock(t *task.T) {
+	s.noteRelease(t, true)
+	s.mu.Lock()
+	s.readers--
+	if s.readers < 0 {
+		s.mu.Unlock()
+		panic("locks: RUnlock of unlocked RWSem")
+	}
+	if s.readers == 0 && s.writersWaiting > 0 {
+		s.writerCond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// Lock implements Lock (writer side).
+func (s *RWSem) Lock(t *task.T) {
+	start := s.noteAcquire(t)
+	s.mu.Lock()
+	if s.writer || s.readers > 0 {
+		s.mu.Unlock()
+		s.noteContended(t, start)
+		s.mu.Lock()
+	}
+	s.writersWaiting++
+	for s.writer || s.readers > 0 {
+		s.writerCond.Wait()
+	}
+	s.writersWaiting--
+	s.writer = true
+	s.mu.Unlock()
+	s.noteAcquired(t, start, false)
+}
+
+// TryLock implements Lock.
+func (s *RWSem) TryLock(t *task.T) bool {
+	start := s.noteAcquire(t)
+	s.mu.Lock()
+	if s.writer || s.readers > 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.writer = true
+	s.mu.Unlock()
+	s.noteAcquired(t, start, false)
+	return true
+}
+
+// Unlock implements Lock (writer side).
+func (s *RWSem) Unlock(t *task.T) {
+	s.noteRelease(t, false)
+	s.mu.Lock()
+	if !s.writer {
+		s.mu.Unlock()
+		panic("locks: Unlock of unlocked RWSem")
+	}
+	s.writer = false
+	if s.writersWaiting > 0 {
+		s.writerCond.Signal()
+	} else {
+		s.readerCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Readers reports the current reader count (tests/monitoring).
+func (s *RWSem) Readers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readers
+}
+
+var _ RWLock = (*RWSem)(nil)

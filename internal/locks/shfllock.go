@@ -1,0 +1,442 @@
+package locks
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"concord/internal/task"
+)
+
+// Node status values for the ShflLock queue.
+const (
+	shflWaiting int32 = iota // spinning/parked on own node
+	shflHead                 // promoted: now competing for the lock word
+)
+
+// shflNode is one waiter in the ShflLock queue.
+type shflNode struct {
+	Waiter
+	status atomic.Int32
+	next   atomic.Pointer[shflNode]
+	parkCh chan struct{} // nil unless the lock is blocking
+}
+
+func (n *shflNode) unpark() {
+	if n.parkCh != nil {
+		select {
+		case n.parkCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ShflLock is the shuffling lock of Kashyap et al. (SOSP '19), the
+// paper's primary policy target: a test-and-set lock word guarded by an
+// MCS-style waiter queue, where the queue head — the *shuffler* —
+// reorders waiters behind it according to a pluggable policy while it
+// waits, keeping policy work off the critical path.
+//
+// The policy is consulted through the lock's hook table (cmp_node,
+// skip_shuffle, schedule_waiter), so Concord can replace it at runtime.
+// With no hooks attached the queue is strict FIFO.
+//
+// Runtime safety checks (paper §4.2): shuffling rounds per acquisition
+// are statically bounded; each waiter has a bypass budget that bounds
+// starvation no matter what the policy returns; and (optionally) the
+// queue is re-counted after each round — it may only have grown by
+// concurrent enqueues, never shrunk. A violated check quarantines the
+// policy via disablePolicy.
+type ShflLock struct {
+	hookable
+	locked atomic.Int32
+	tail   atomic.Pointer[shflNode]
+	qlen   atomic.Int32
+
+	blocking     atomic.Bool
+	spinBudget   int
+	maxRounds    int
+	maxScan      int
+	maxBatch     int
+	bypassBudget int32
+	checkInv     bool
+
+	// holder is the task currently inside the critical section, for
+	// occupancy-aware policies (priority inheritance, §3.1.2).
+	holder atomic.Pointer[task.T]
+
+	// Shuffle statistics (tests and reports).
+	statRounds atomic.Int64
+	statMoves  atomic.Int64
+	statSkips  atomic.Int64
+}
+
+// ShflOption configures a ShflLock.
+type ShflOption func(*ShflLock)
+
+// WithBlocking makes waiters park after their spin budget instead of
+// spinning indefinitely (the mutex/rwsem-style variant).
+func WithBlocking(b bool) ShflOption { return func(l *ShflLock) { l.blocking.Store(b) } }
+
+// WithSpinBudget sets how many spin iterations a waiter performs before
+// parking (blocking locks only).
+func WithSpinBudget(n int) ShflOption { return func(l *ShflLock) { l.spinBudget = n } }
+
+// WithMaxRounds bounds shuffling rounds per lock acquisition.
+func WithMaxRounds(n int) ShflOption { return func(l *ShflLock) { l.maxRounds = n } }
+
+// WithMaxScan bounds how many waiters one shuffling round examines.
+func WithMaxScan(n int) ShflOption {
+	return func(l *ShflLock) {
+		if n > maxScanCap {
+			n = maxScanCap
+		}
+		l.maxScan = n
+	}
+}
+
+// WithMaxBatch bounds how many waiters may be grouped into one batch.
+func WithMaxBatch(n int) ShflOption { return func(l *ShflLock) { l.maxBatch = n } }
+
+// WithBypassBudget bounds how many times a waiter may be overtaken
+// before shuffling is suppressed on its behalf (starvation bound).
+func WithBypassBudget(n int) ShflOption { return func(l *ShflLock) { l.bypassBudget = int32(n) } }
+
+// WithInvariantChecks toggles the post-round queue recount.
+func WithInvariantChecks(b bool) ShflOption { return func(l *ShflLock) { l.checkInv = b } }
+
+// maxScanCap bounds the scan window so per-round bookkeeping fits a
+// fixed stack buffer.
+const maxScanCap = 64
+
+// NewShflLock returns a shuffling lock. Defaults: non-blocking, 16
+// shuffle rounds, scan window 32, batch 32, bypass budget 16, invariant
+// checks on.
+func NewShflLock(name string, opts ...ShflOption) *ShflLock {
+	l := &ShflLock{
+		hookable:     newHookable(name),
+		spinBudget:   128,
+		maxRounds:    16,
+		maxScan:      32,
+		maxBatch:     32,
+		bypassBudget: 16,
+		checkInv:     true,
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// ShuffleStats reports cumulative shuffling activity:
+// rounds run, waiters moved, rounds skipped by skip_shuffle.
+func (l *ShflLock) ShuffleStats() (rounds, moves, skips int64) {
+	return l.statRounds.Load(), l.statMoves.Load(), l.statSkips.Load()
+}
+
+// QueueLen reports the instantaneous number of queued waiters.
+func (l *ShflLock) QueueLen() int { return int(l.qlen.Load()) }
+
+// Lock implements Lock.
+func (l *ShflLock) Lock(t *task.T) {
+	start := l.now()
+	if h, release := l.getHooks(); h != nil {
+		if h.OnAcquire != nil {
+			h.OnAcquire(&Event{LockID: l.id, Task: t, NowNS: start})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+
+	// Fast path: nobody queued and the lock word is free.
+	if l.tail.Load() == nil && l.locked.CompareAndSwap(0, 1) {
+		l.finishAcquire(t, start)
+		return
+	}
+	if h, release := l.getHooks(); h != nil {
+		if h.OnContended != nil {
+			h.OnContended(&Event{
+				LockID: l.id, Task: t, NowNS: l.now(),
+				QueueLen: int(l.qlen.Load()),
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	l.slowPath(t, start)
+}
+
+// TryLock implements Lock.
+func (l *ShflLock) TryLock(t *task.T) bool {
+	start := l.now()
+	if l.tail.Load() == nil && l.locked.CompareAndSwap(0, 1) {
+		l.finishAcquire(t, start)
+		return true
+	}
+	return false
+}
+
+// Holder returns the task currently holding the lock, or nil. The value
+// is advisory: it may be stale by the time the caller uses it, which is
+// the same guarantee the kernel's owner fields give.
+func (l *ShflLock) Holder() *task.T { return l.holder.Load() }
+
+// Unlock implements Lock.
+func (l *ShflLock) Unlock(t *task.T) {
+	l.holder.Store(nil)
+	now := l.now()
+	t.ExitCS(now)
+	t.NoteReleased(l.id)
+	if h, release := l.getHooks(); h != nil {
+		if h.OnRelease != nil {
+			h.OnRelease(&Event{
+				LockID: l.id, Task: t, NowNS: now,
+				HoldNS: t.CSLast(), QueueLen: int(l.qlen.Load()),
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	l.locked.Store(0)
+}
+
+func (l *ShflLock) finishAcquire(t *task.T, start int64) {
+	l.holder.Store(t)
+	now := l.now()
+	if h, release := l.getHooks(); h != nil {
+		if h.OnAcquired != nil {
+			h.OnAcquired(&Event{
+				LockID: l.id, Task: t, NowNS: now,
+				WaitNS: now - start, QueueLen: int(l.qlen.Load()),
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	t.NoteAcquired(l.id)
+	t.EnterCS(now)
+}
+
+func (l *ShflLock) slowPath(t *task.T, start int64) {
+	n := &shflNode{Waiter: Waiter{Task: t, EnqueueNS: l.now()}}
+	if l.blocking.Load() {
+		n.parkCh = make(chan struct{}, 1)
+	}
+	l.qlen.Add(1)
+	prev := l.tail.Swap(n)
+	if prev != nil {
+		prev.next.Store(n)
+		l.waitForHead(n)
+	} else {
+		n.status.Store(shflHead)
+	}
+
+	// Queue head: compete for the lock word, shuffling while we wait.
+	// Shuffling runs before each acquisition attempt so at least one
+	// round happens per handover even when the lock frees immediately —
+	// in the real lock the waiting window is long enough that this is
+	// implicit; under a cooperative scheduler it must be explicit.
+	round := 0
+	for i := 0; ; i++ {
+		l.shuffle(n, &round)
+		if l.locked.CompareAndSwap(0, 1) {
+			break
+		}
+		spinYield(i)
+	}
+
+	// Lock word owned; leave the queue and promote our successor.
+	next := n.next.Load()
+	if next == nil {
+		if !l.tail.CompareAndSwap(n, nil) {
+			for i := 0; ; i++ {
+				if next = n.next.Load(); next != nil {
+					break
+				}
+				spinYield(i)
+			}
+		}
+	}
+	if next != nil {
+		next.status.Store(shflHead)
+		next.unpark()
+	}
+	l.qlen.Add(-1)
+	l.finishAcquire(t, start)
+}
+
+// waitForHead spins (or parks) until n is promoted to queue head,
+// consulting the schedule_waiter hook for the strategy.
+func (l *ShflLock) waitForHead(n *shflNode) {
+	spinStart := l.now()
+	for i := 0; n.status.Load() != shflHead; i++ {
+		decision := WaitDefault
+		if h, release := l.getHooks(); h != nil && h.ScheduleWaiter != nil {
+			info := WaitInfo{
+				LockID:   l.id,
+				NowNS:    l.now(),
+				QueueLen: int(l.qlen.Load()),
+				SpinNS:   l.now() - spinStart,
+				Curr:     &n.Waiter,
+			}
+			// Expose the holder's typical critical-section length so
+			// parking policies can size their spin window (§3.1.1
+			// "adaptable parking/wake-up strategy").
+			if holder := l.holder.Load(); holder != nil {
+				info.HolderCSAvg = holder.CSAverage()
+			}
+			decision = h.ScheduleWaiter(&info)
+			release.Release()
+		} else {
+			release.Release()
+		}
+
+		switch {
+		case decision == WaitParkNow && n.parkCh != nil:
+			l.park(n)
+		case decision == WaitKeepSpinning:
+			spinYield(i)
+		default:
+			if n.parkCh != nil && i >= l.spinBudget {
+				l.park(n)
+			} else {
+				spinYield(i)
+			}
+		}
+	}
+}
+
+func (l *ShflLock) park(n *shflNode) {
+	for n.status.Load() != shflHead {
+		<-n.parkCh
+	}
+}
+
+// shuffle runs one shuffling round with n as the shuffler. Only the
+// queue head calls this, so there is exactly one mutator of interior
+// next pointers; enqueuers only ever write the next pointer of the node
+// that was the tail, and the scan treats next == nil as a hard barrier.
+func (l *ShflLock) shuffle(n *shflNode, round *int) {
+	h, release := l.getHooks()
+	defer release.Release()
+	if h == nil || h.CmpNode == nil {
+		return
+	}
+	if *round >= l.maxRounds {
+		return
+	}
+	*round++
+	l.statRounds.Add(1)
+
+	now := l.now()
+	info := ShuffleInfo{
+		LockID:   l.id,
+		NowNS:    now,
+		QueueLen: int(l.qlen.Load()),
+		Round:    *round,
+		Shuffler: &n.Waiter,
+	}
+	if h.SkipShuffle != nil && h.SkipShuffle(&info) {
+		l.statSkips.Add(1)
+		return
+	}
+
+	var before int
+	if l.checkInv {
+		before = l.countFrom(n)
+	}
+
+	var skipped [maxScanCap]*shflNode
+	nSkipped := 0
+	batchEnd := n
+	prev := n
+	curr := n.next.Load()
+	batch := 1
+
+	for scanned := 0; curr != nil && scanned < l.maxScan && batch < l.maxBatch; scanned++ {
+		next := curr.next.Load()
+		if next == nil {
+			break // current tail (or enqueue in flight): never touched
+		}
+		info.Curr = &curr.Waiter
+		info.Batch = batch
+		if h.CmpNode(&info) {
+			// Moving curr overtakes every waiter we previously skipped.
+			// If any of them has already exhausted its bypass budget the
+			// round stops *before* the move — the starvation bound of
+			// §4.2 — otherwise they are charged one more bypass.
+			if nSkipped > 0 && prev != batchEnd {
+				exhausted := false
+				for i := 0; i < nSkipped; i++ {
+					if skipped[i].bypass.Load() >= l.bypassBudget {
+						exhausted = true
+						break
+					}
+				}
+				if exhausted {
+					break
+				}
+				for i := 0; i < nSkipped; i++ {
+					skipped[i].bypass.Add(1)
+				}
+			}
+			if prev == batchEnd {
+				// Already adjacent to the batch: just extend it.
+				batchEnd = curr
+				prev = curr
+			} else {
+				// Splice curr out and reinsert it right after the batch.
+				prev.next.Store(next)
+				curr.next.Store(batchEnd.next.Load())
+				batchEnd.next.Store(curr)
+				batchEnd = curr
+			}
+			curr = next
+			batch++
+			l.statMoves.Add(1)
+		} else {
+			if nSkipped < len(skipped) {
+				skipped[nSkipped] = curr
+				nSkipped++
+			}
+			prev = curr
+			curr = next
+		}
+	}
+
+	if l.checkInv {
+		if after := l.countFrom(n); after < before {
+			l.disablePolicy(fmt.Sprintf(
+				"shuffle invariant violated on %q: queue shrank %d -> %d", l.name, before, after))
+		}
+	}
+}
+
+// countFrom counts queue nodes reachable from n (inclusive) up to the
+// first nil next pointer, bounded well past the shuffle window.
+func (l *ShflLock) countFrom(n *shflNode) int {
+	count := 0
+	for c := n; c != nil && count < l.maxScan+l.maxBatch+8; c = c.next.Load() {
+		count++
+	}
+	return count
+}
+
+// Interface conformance checks.
+var (
+	_ Lock   = (*ShflLock)(nil)
+	_ Hooked = (*ShflLock)(nil)
+)
+
+// SetBlocking switches the lock between blocking (waiters park after
+// their spin budget — rwsem/mutex style) and non-blocking (pure
+// spinning — rwlock/spinlock style) for *new* waiters, realizing the
+// §3.1.1 scenario (iii) switch at runtime. Waiters already queued keep
+// the mode they enqueued with.
+func (l *ShflLock) SetBlocking(b bool) { l.blocking.Store(b) }
+
+// Blocking reports whether new waiters park after their spin budget.
+func (l *ShflLock) Blocking() bool { return l.blocking.Load() }

@@ -1,0 +1,101 @@
+package locks
+
+import (
+	"sync/atomic"
+
+	"concord/internal/task"
+)
+
+// ShflRWLock is the readers-writer companion of ShflLock: writers order
+// themselves through an embedded ShflLock (and are therefore subject to
+// the same shuffling policies), readers use a shared counter gated by a
+// writer-intent flag. This is the shape of the kernel's ShflLock-based
+// rwsem; the non-blocking configuration corresponds to rwlock, so
+// toggling the embedded lock's blocking mode is the rwsem↔rwlock switch
+// of §3.1.1 scenario (iii).
+type ShflRWLock struct {
+	hookable
+	w       *ShflLock
+	readers atomic.Int64
+	wflag   atomic.Int32
+}
+
+// NewShflRWLock returns a readers-writer shuffling lock; opts configure
+// the embedded writer ShflLock.
+func NewShflRWLock(name string, opts ...ShflOption) *ShflRWLock {
+	l := &ShflRWLock{hookable: newHookable(name)}
+	l.w = NewShflLock(name+".writers", opts...)
+	// The writer queue shares this lock's hook slot so one Concord patch
+	// governs both sides.
+	l.w.slot = l.slot
+	return l
+}
+
+// WriterQueue exposes the embedded writer ShflLock (stats, tests).
+func (l *ShflRWLock) WriterQueue() *ShflLock { return l.w }
+
+// Lock implements Lock (writer side).
+func (l *ShflRWLock) Lock(t *task.T) {
+	l.w.Lock(t)
+	l.wflag.Store(1)
+	for i := 0; l.readers.Load() > 0; i++ {
+		spinYield(i)
+	}
+}
+
+// TryLock implements Lock.
+func (l *ShflRWLock) TryLock(t *task.T) bool {
+	if !l.w.TryLock(t) {
+		return false
+	}
+	l.wflag.Store(1)
+	if l.readers.Load() > 0 {
+		l.wflag.Store(0)
+		l.w.Unlock(t)
+		return false
+	}
+	return true
+}
+
+// Unlock implements Lock (writer side).
+func (l *ShflRWLock) Unlock(t *task.T) {
+	l.wflag.Store(0)
+	l.w.Unlock(t)
+}
+
+// RLock implements RWLock.
+func (l *ShflRWLock) RLock(t *task.T) {
+	for i := 0; ; i++ {
+		if l.wflag.Load() == 0 {
+			l.readers.Add(1)
+			if l.wflag.Load() == 0 {
+				t.NoteAcquired(l.id)
+				return
+			}
+			l.readers.Add(-1)
+		}
+		spinYield(i)
+	}
+}
+
+// TryRLock implements RWLock.
+func (l *ShflRWLock) TryRLock(t *task.T) bool {
+	if l.wflag.Load() != 0 {
+		return false
+	}
+	l.readers.Add(1)
+	if l.wflag.Load() != 0 {
+		l.readers.Add(-1)
+		return false
+	}
+	t.NoteAcquired(l.id)
+	return true
+}
+
+// RUnlock implements RWLock.
+func (l *ShflRWLock) RUnlock(t *task.T) {
+	t.NoteReleased(l.id)
+	l.readers.Add(-1)
+}
+
+var _ RWLock = (*ShflRWLock)(nil)

@@ -1,0 +1,230 @@
+package locks
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"concord/internal/task"
+)
+
+// spinYield is the body of every spin loop: on a multicore host a short
+// busy loop would be fine, but yielding keeps the algorithms live on any
+// GOMAXPROCS, including 1.
+func spinYield(i int) {
+	if i&3 == 3 {
+		runtime.Gosched()
+	}
+}
+
+// profBase implements the four profiling hook call sites shared by the
+// simple (queue-less) locks.
+type profBase struct {
+	hookable
+}
+
+func (p *profBase) noteAcquire(t *task.T) int64 {
+	now := p.now()
+	if h, release := p.getHooks(); h != nil {
+		if h.OnAcquire != nil {
+			h.OnAcquire(&Event{LockID: p.id, Task: t, NowNS: now})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	return now
+}
+
+func (p *profBase) noteContended(t *task.T, startNS int64) {
+	if h, release := p.getHooks(); h != nil {
+		if h.OnContended != nil {
+			h.OnContended(&Event{LockID: p.id, Task: t, NowNS: p.now()})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	_ = startNS
+}
+
+func (p *profBase) noteAcquired(t *task.T, startNS int64, reader bool) {
+	now := p.now()
+	if h, release := p.getHooks(); h != nil {
+		if h.OnAcquired != nil {
+			h.OnAcquired(&Event{
+				LockID: p.id, Task: t, NowNS: now,
+				WaitNS: now - startNS, Reader: reader,
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+	t.NoteAcquired(p.id)
+	t.EnterCS(now)
+}
+
+func (p *profBase) noteRelease(t *task.T, reader bool) {
+	now := p.now()
+	t.ExitCS(now)
+	t.NoteReleased(p.id)
+	if h, release := p.getHooks(); h != nil {
+		if h.OnRelease != nil {
+			h.OnRelease(&Event{
+				LockID: p.id, Task: t, NowNS: now,
+				HoldNS: t.CSLast(), Reader: reader,
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+}
+
+// --- Test-and-set lock ---
+
+// TASLock is the simplest spinlock: a single test-and-set word that every
+// waiter hammers. It is the "non-scalable lock" of Boyd-Wickizer et al.
+// and the baseline the queue locks improve on.
+type TASLock struct {
+	profBase
+	state atomic.Int32
+}
+
+// NewTASLock returns a test-and-set spinlock.
+func NewTASLock(name string) *TASLock {
+	return &TASLock{profBase: profBase{hookable: newHookable(name)}}
+}
+
+// Lock implements Lock.
+func (l *TASLock) Lock(t *task.T) {
+	start := l.noteAcquire(t)
+	if l.state.CompareAndSwap(0, 1) {
+		l.noteAcquired(t, start, false)
+		return
+	}
+	l.noteContended(t, start)
+	for i := 0; !l.state.CompareAndSwap(0, 1); i++ {
+		spinYield(i)
+	}
+	l.noteAcquired(t, start, false)
+}
+
+// TryLock implements Lock.
+func (l *TASLock) TryLock(t *task.T) bool {
+	start := l.noteAcquire(t)
+	if l.state.CompareAndSwap(0, 1) {
+		l.noteAcquired(t, start, false)
+		return true
+	}
+	return false
+}
+
+// Unlock implements Lock.
+func (l *TASLock) Unlock(t *task.T) {
+	l.noteRelease(t, false)
+	l.state.Store(0)
+}
+
+// --- Test-and-test-and-set lock ---
+
+// TTASLock spins on a plain load and only attempts the atomic exchange
+// when the lock looks free, cutting cacheline write traffic versus TAS.
+type TTASLock struct {
+	profBase
+	state atomic.Int32
+}
+
+// NewTTASLock returns a test-and-test-and-set spinlock.
+func NewTTASLock(name string) *TTASLock {
+	return &TTASLock{profBase: profBase{hookable: newHookable(name)}}
+}
+
+// Lock implements Lock.
+func (l *TTASLock) Lock(t *task.T) {
+	start := l.noteAcquire(t)
+	if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+		l.noteAcquired(t, start, false)
+		return
+	}
+	l.noteContended(t, start)
+	for i := 0; ; i++ {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			break
+		}
+		spinYield(i)
+	}
+	l.noteAcquired(t, start, false)
+}
+
+// TryLock implements Lock.
+func (l *TTASLock) TryLock(t *task.T) bool {
+	start := l.noteAcquire(t)
+	if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+		l.noteAcquired(t, start, false)
+		return true
+	}
+	return false
+}
+
+// Unlock implements Lock.
+func (l *TTASLock) Unlock(t *task.T) {
+	l.noteRelease(t, false)
+	l.state.Store(0)
+}
+
+// --- Ticket lock ---
+
+// TicketLock grants the lock in strict FIFO order via a next/owner ticket
+// pair — fair, but every waiter spins on the shared owner word.
+type TicketLock struct {
+	profBase
+	next  atomic.Uint64
+	owner atomic.Uint64
+}
+
+// NewTicketLock returns a ticket spinlock.
+func NewTicketLock(name string) *TicketLock {
+	return &TicketLock{profBase: profBase{hookable: newHookable(name)}}
+}
+
+// Lock implements Lock.
+func (l *TicketLock) Lock(t *task.T) {
+	start := l.noteAcquire(t)
+	ticket := l.next.Add(1) - 1
+	if l.owner.Load() != ticket {
+		l.noteContended(t, start)
+		for i := 0; l.owner.Load() != ticket; i++ {
+			spinYield(i)
+		}
+	}
+	l.noteAcquired(t, start, false)
+}
+
+// TryLock implements Lock.
+func (l *TicketLock) TryLock(t *task.T) bool {
+	start := l.noteAcquire(t)
+	// The lock is free iff owner == next; reserving ticket `cur` with a
+	// CAS on next can only succeed while that still holds, making the
+	// caller the owner immediately.
+	cur := l.owner.Load()
+	if l.next.CompareAndSwap(cur, cur+1) {
+		l.noteAcquired(t, start, false)
+		return true
+	}
+	return false
+}
+
+// Unlock implements Lock.
+func (l *TicketLock) Unlock(t *task.T) {
+	l.noteRelease(t, false)
+	l.owner.Add(1)
+}
+
+// Interface conformance checks.
+var (
+	_ Lock   = (*TASLock)(nil)
+	_ Lock   = (*TTASLock)(nil)
+	_ Lock   = (*TicketLock)(nil)
+	_ Hooked = (*TASLock)(nil)
+)

@@ -1,0 +1,186 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"concord/internal/livepatch"
+	"concord/internal/task"
+)
+
+// SwitchableRWLock realizes §3.1.1's "lock switching" use case literally:
+// a readers-writer lock whose *implementation* can be replaced at
+// runtime — e.g. from a neutral rwsem to a per-socket readers-intensive
+// design for a read-mostly phase, and back for a write burst — without
+// stopping the application.
+//
+// The mechanism is the livepatch slot: every acquisition pins the
+// current implementation and remembers it until the matching release,
+// so in-flight critical sections always unlock the lock they locked.
+// Switch publishes the new implementation for new acquisitions and
+// returns a patch whose Wait completes when the old implementation has
+// fully drained — at which point it can be torn down.
+type SwitchableRWLock struct {
+	hookable
+	slot *livepatch.Slot[rwImpl]
+
+	// held maps a task to its pinned acquisition state. A task may hold
+	// this lock once at a time (read or write), like a kernel rwsem.
+	held sync.Map // taskID int64 -> *pinned
+
+	switches atomic.Int64
+}
+
+// rwImpl wraps the underlying lock for slot storage. ready is closed
+// once the *previous* implementation has drained: acquisitions on a
+// freshly switched-in lock block on it, so holders of the old lock and
+// holders of the new one can never overlap — the property that keeps
+// mutual exclusion continuous across a switch.
+type rwImpl struct {
+	l     RWLock
+	ready chan struct{}
+}
+
+// pinned records one in-flight acquisition.
+type pinned struct {
+	impl    RWLock
+	release livepatch.Held[rwImpl]
+	reader  bool
+}
+
+// NewSwitchableRWLock returns a switchable lock starting with initial.
+func NewSwitchableRWLock(name string, initial RWLock) *SwitchableRWLock {
+	s := &SwitchableRWLock{hookable: newHookable(name)}
+	ready := make(chan struct{})
+	close(ready)
+	s.slot = livepatch.NewSlot(&rwImpl{l: initial, ready: ready})
+	return s
+}
+
+// Current returns the implementation new acquisitions will use.
+func (s *SwitchableRWLock) Current() RWLock { return s.slot.Peek().l }
+
+// Switches reports how many implementation switches have occurred.
+func (s *SwitchableRWLock) Switches() int64 { return s.switches.Load() }
+
+// Switch atomically replaces the implementation. New acquisitions
+// target next immediately but block until every acquisition made on the
+// previous implementation has been released (so exclusion is continuous
+// across the switch); the returned patch's Wait observes the same drain
+// point.
+func (s *SwitchableRWLock) Switch(next RWLock) *livepatch.Patch {
+	s.switches.Add(1)
+	impl := &rwImpl{l: next, ready: make(chan struct{})}
+	patch := s.slot.Replace("switch:"+next.Name(), impl)
+	go func() {
+		patch.Wait()
+		close(impl.ready)
+	}()
+	return patch
+}
+
+func (s *SwitchableRWLock) pin(t *task.T, reader bool) *pinned {
+	impl, release := s.slot.Get()
+	<-impl.ready // wait out the drain of a just-displaced implementation
+	p := &pinned{impl: impl.l, release: release, reader: reader}
+	if _, loaded := s.held.LoadOrStore(t.ID(), p); loaded {
+		release.Release()
+		panic("locks: SwitchableRWLock does not support nested acquisition by one task")
+	}
+	return p
+}
+
+func (s *SwitchableRWLock) unpin(t *task.T, reader bool) *pinned {
+	v, ok := s.held.Load(t.ID())
+	if !ok {
+		panic("locks: unlock of SwitchableRWLock not held by task")
+	}
+	p := v.(*pinned)
+	if p.reader != reader {
+		// Leave the acquisition intact so the caller can still release
+		// it correctly after observing the panic.
+		panic("locks: SwitchableRWLock lock/unlock mode mismatch")
+	}
+	s.held.Delete(t.ID())
+	return p
+}
+
+// Lock implements Lock (writer side).
+func (s *SwitchableRWLock) Lock(t *task.T) {
+	p := s.pin(t, false)
+	p.impl.Lock(t)
+	t.NoteAcquired(s.id)
+}
+
+// tryPin is pin for Try paths: it fails instead of blocking when a
+// switch is still draining.
+func (s *SwitchableRWLock) tryPin(t *task.T, reader bool) (*pinned, bool) {
+	impl, release := s.slot.Get()
+	select {
+	case <-impl.ready:
+	default:
+		release.Release()
+		return nil, false
+	}
+	p := &pinned{impl: impl.l, release: release, reader: reader}
+	if _, loaded := s.held.LoadOrStore(t.ID(), p); loaded {
+		release.Release()
+		panic("locks: SwitchableRWLock does not support nested acquisition by one task")
+	}
+	return p, true
+}
+
+// TryLock implements Lock.
+func (s *SwitchableRWLock) TryLock(t *task.T) bool {
+	p, ok := s.tryPin(t, false)
+	if !ok {
+		return false
+	}
+	if !p.impl.TryLock(t) {
+		s.held.Delete(t.ID())
+		p.release.Release()
+		return false
+	}
+	t.NoteAcquired(s.id)
+	return true
+}
+
+// Unlock implements Lock.
+func (s *SwitchableRWLock) Unlock(t *task.T) {
+	p := s.unpin(t, false)
+	t.NoteReleased(s.id)
+	p.impl.Unlock(t)
+	p.release.Release()
+}
+
+// RLock implements RWLock.
+func (s *SwitchableRWLock) RLock(t *task.T) {
+	p := s.pin(t, true)
+	p.impl.RLock(t)
+	t.NoteAcquired(s.id)
+}
+
+// TryRLock implements RWLock.
+func (s *SwitchableRWLock) TryRLock(t *task.T) bool {
+	p, ok := s.tryPin(t, true)
+	if !ok {
+		return false
+	}
+	if !p.impl.TryRLock(t) {
+		s.held.Delete(t.ID())
+		p.release.Release()
+		return false
+	}
+	t.NoteAcquired(s.id)
+	return true
+}
+
+// RUnlock implements RWLock.
+func (s *SwitchableRWLock) RUnlock(t *task.T) {
+	p := s.unpin(t, true)
+	t.NoteReleased(s.id)
+	p.impl.RUnlock(t)
+	p.release.Release()
+}
+
+var _ RWLock = (*SwitchableRWLock)(nil)

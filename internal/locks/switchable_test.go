@@ -1,0 +1,193 @@
+package locks
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"concord/internal/task"
+)
+
+func TestSwitchableBasicDelegation(t *testing.T) {
+	topo := testTopo()
+	under := NewRWSem("under")
+	s := NewSwitchableRWLock("sw", under)
+	tk := task.New(topo)
+
+	s.RLock(tk)
+	if under.Readers() != 1 {
+		t.Fatal("read not delegated")
+	}
+	s.RUnlock(tk)
+	if under.Readers() != 0 {
+		t.Fatal("read unlock not delegated")
+	}
+	s.Lock(tk)
+	if under.TryLock(task.New(topo)) {
+		t.Fatal("write not delegated")
+	}
+	s.Unlock(tk)
+	if s.Current() != RWLock(under) {
+		t.Fatal("Current() wrong")
+	}
+}
+
+func TestSwitchableTrySemantics(t *testing.T) {
+	topo := testTopo()
+	s := NewSwitchableRWLock("sw", NewRWSem("u"))
+	t1, t2 := task.New(topo), task.New(topo)
+	if !s.TryLock(t1) {
+		t.Fatal("TryLock on free lock")
+	}
+	if s.TryLock(t2) || s.TryRLock(t2) {
+		t.Fatal("Try* succeeded while write-held")
+	}
+	s.Unlock(t1)
+	if !s.TryRLock(t1) || !s.TryRLock(t2) {
+		t.Fatal("parallel TryRLock failed")
+	}
+	s.RUnlock(t1)
+	s.RUnlock(t2)
+}
+
+func TestSwitchDrainsOldImplementation(t *testing.T) {
+	topo := testTopo()
+	old := NewRWSem("old")
+	s := NewSwitchableRWLock("sw", old)
+	holder := task.New(topo)
+	s.RLock(holder) // pin the old implementation
+
+	patch := s.Switch(NewPerSocketRWLock("new", topo))
+	done := make(chan struct{})
+	go func() { patch.Wait(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("switch completed while old reader inside")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// A Try acquisition during the drain window must fail, not block or
+	// overlap the old holder.
+	t2 := task.New(topo)
+	if s.TryRLock(t2) {
+		t.Fatal("TryRLock succeeded during drain")
+	}
+
+	s.RUnlock(holder)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("switch never drained")
+	}
+	if s.Switches() != 1 {
+		t.Errorf("Switches = %d", s.Switches())
+	}
+	// New acquisitions now use the new implementation.
+	s.RLock(t2)
+	if old.Readers() != 0 {
+		t.Error("reader went to the drained implementation")
+	}
+	s.RUnlock(t2)
+}
+
+func TestSwitchPreservesMutualExclusion(t *testing.T) {
+	// Writers keep excluding each other across repeated live switches.
+	topo := testTopo()
+	s := NewSwitchableRWLock("sw", NewRWSem("a"))
+	var inCS atomic.Int32
+	var counter int
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Lock(tk)
+				if inCS.Add(1) != 1 {
+					t.Error("exclusion violated across switch")
+				}
+				counter++
+				runtime.Gosched()
+				inCS.Add(-1)
+				s.Unlock(tk)
+			}
+		}()
+	}
+	impls := []func() RWLock{
+		func() RWLock { return NewRWSem("r") },
+		func() RWLock { return NewPerSocketRWLock("p", topo) },
+		func() RWLock { return NewShflRWLock("s") },
+		func() RWLock { return NewBRAVO("b", NewRWSem("ub")) },
+	}
+	for i := 0; i < 24; i++ {
+		s.Switch(impls[i%len(impls)]()).Wait()
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if counter == 0 {
+		t.Error("no progress during switches")
+	}
+}
+
+func TestSwitchableMisusePanics(t *testing.T) {
+	topo := testTopo()
+	s := NewSwitchableRWLock("sw", NewRWSem("u"))
+	tk := task.New(topo)
+	mustPanic(t, func() { s.Unlock(tk) }) // unlock without lock
+	s.RLock(tk)
+	mustPanic(t, func() { s.Unlock(tk) }) // mode mismatch
+	s.RUnlock(tk)
+	s.Lock(tk)
+	mustPanic(t, func() { s.Lock(tk) }) // nested acquisition
+	s.Unlock(tk)
+}
+
+func TestShflLockRuntimeBlockingSwitch(t *testing.T) {
+	topo := testTopo()
+	l := NewShflLock("mode")
+	if l.Blocking() {
+		t.Fatal("default should be non-blocking")
+	}
+	// The rwsem→rwlock switch of §3.1.1 (iii): flip modes under load.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				l.Lock(tk)
+				if i&7 == 0 {
+					runtime.Gosched()
+				}
+				l.Unlock(tk)
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		l.SetBlocking(i%2 == 0)
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if got := l.SafetyError(); got != "" {
+		t.Errorf("safety tripped: %s", got)
+	}
+}

@@ -1,0 +1,316 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AsmError reports an assembler failure with its source line.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *AsmError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates assembler text into a Program of the given kind.
+//
+// Syntax, one instruction per line:
+//
+//	; comment            // comment
+//	label:
+//	mov   r1, 42         mov r2, r1
+//	add   r1, 7          sub r1, r2       (and mul/div/mod/and/or/xor/lsh/rsh/arsh)
+//	neg   r1
+//	ldxdw r3, [r6+16]    ldxdw r3, [r6+curr_socket]   (ctx field names resolve
+//	                                                   against the kind's layout)
+//	stxdw [r10-8], r3    stdw [r10-16], 7             (and b/h/w widths)
+//	ldmap r1, counters                                (map by name)
+//	call  map_lookup
+//	jeq   r0, 0, out     jne r2, r3, retry   ja out   (forward labels)
+//	exit
+//
+// Maps referenced by ldmap must be supplied in maps.
+func Assemble(name string, kind Kind, src string, maps map[string]Map) (*Program, error) {
+	b := NewBuilder(name, kind)
+	layout := LayoutFor(kind)
+
+	fail := func(lineNo int, format string, args ...any) (*Program, error) {
+		return nil, &AsmError{Line: lineNo, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		lineNo++ // 1-based
+		line := raw
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels, possibly several.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return fail(lineNo, "bad label %q", label)
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		mn, ops := strings.ToLower(fields[0]), fields[1:]
+
+		switch mn {
+		case "exit":
+			if len(ops) != 0 {
+				return fail(lineNo, "exit takes no operands")
+			}
+			b.Exit()
+
+		case "call":
+			if len(ops) != 1 {
+				return fail(lineNo, "call takes one operand")
+			}
+			h, ok := HelperByName(ops[0])
+			if !ok {
+				if id, err := strconv.ParseInt(ops[0], 0, 64); err == nil {
+					h = HelperID(id)
+				} else {
+					return fail(lineNo, "unknown helper %q", ops[0])
+				}
+			}
+			b.Call(h)
+
+		case "ldmap":
+			if len(ops) != 2 {
+				return fail(lineNo, "ldmap takes dst, mapname")
+			}
+			dst, ok := parseReg(ops[0])
+			if !ok {
+				return fail(lineNo, "bad register %q", ops[0])
+			}
+			m, ok := maps[ops[1]]
+			if !ok {
+				return fail(lineNo, "unknown map %q", ops[1])
+			}
+			b.LoadMapPtr(dst, m)
+
+		case "ja":
+			if len(ops) != 1 {
+				return fail(lineNo, "ja takes a label")
+			}
+			b.Ja(ops[0])
+
+		case "jeq", "jne", "jgt", "jge", "jlt", "jle",
+			"jsgt", "jsge", "jslt", "jsle", "jset":
+			if len(ops) != 3 {
+				return fail(lineNo, "%s takes dst, src|imm, label", mn)
+			}
+			dst, ok := parseReg(ops[0])
+			if !ok {
+				return fail(lineNo, "bad register %q", ops[0])
+			}
+			if src, ok := parseReg(ops[1]); ok {
+				b.JmpReg(jumpOpReg[mn], dst, src, ops[2])
+			} else if imm, err := strconv.ParseInt(ops[1], 0, 64); err == nil {
+				b.JmpImm(jumpOpImm[mn], dst, imm, ops[2])
+			} else {
+				return fail(lineNo, "bad operand %q", ops[1])
+			}
+
+		case "neg":
+			if len(ops) != 1 {
+				return fail(lineNo, "neg takes one register")
+			}
+			dst, ok := parseReg(ops[0])
+			if !ok {
+				return fail(lineNo, "bad register %q", ops[0])
+			}
+			b.Neg(dst)
+
+		case "mov", "add", "sub", "mul", "div", "mod",
+			"and", "or", "xor", "lsh", "rsh", "arsh":
+			if len(ops) != 2 {
+				return fail(lineNo, "%s takes dst, src|imm", mn)
+			}
+			dst, ok := parseReg(ops[0])
+			if !ok {
+				return fail(lineNo, "bad register %q", ops[0])
+			}
+			if src, ok := parseReg(ops[1]); ok {
+				b.ALUReg(aluOpReg[mn], dst, src)
+			} else if imm, err := strconv.ParseInt(ops[1], 0, 64); err == nil {
+				b.ALUImm(aluOpImm[mn], dst, imm)
+			} else {
+				return fail(lineNo, "bad operand %q", ops[1])
+			}
+
+		case "ldxb", "ldxh", "ldxw", "ldxdw":
+			if len(ops) != 2 {
+				return fail(lineNo, "%s takes dst, [reg+off]", mn)
+			}
+			dst, ok := parseReg(ops[0])
+			if !ok {
+				return fail(lineNo, "bad register %q", ops[0])
+			}
+			src, off, ok := parseMem(ops[1], layout)
+			if !ok {
+				return fail(lineNo, "bad memory operand %q", ops[1])
+			}
+			b.Raw(Instruction{Op: loadOp[mn], Dst: dst, Src: src, Off: off})
+
+		case "stxb", "stxh", "stxw", "stxdw":
+			if len(ops) != 2 {
+				return fail(lineNo, "%s takes [reg+off], src", mn)
+			}
+			dst, off, ok := parseMem(ops[0], layout)
+			if !ok {
+				return fail(lineNo, "bad memory operand %q", ops[0])
+			}
+			src, ok := parseReg(ops[1])
+			if !ok {
+				return fail(lineNo, "bad register %q", ops[1])
+			}
+			b.Raw(Instruction{Op: storeOpReg[mn], Dst: dst, Src: src, Off: off})
+
+		case "stb", "sth", "stw", "stdw":
+			if len(ops) != 2 {
+				return fail(lineNo, "%s takes [reg+off], imm", mn)
+			}
+			dst, off, ok := parseMem(ops[0], layout)
+			if !ok {
+				return fail(lineNo, "bad memory operand %q", ops[0])
+			}
+			imm, err := strconv.ParseInt(ops[1], 0, 64)
+			if err != nil {
+				return fail(lineNo, "bad immediate %q", ops[1])
+			}
+			b.Raw(Instruction{Op: storeOpImm[mn], Dst: dst, Off: off, Imm: imm})
+
+		default:
+			return fail(lineNo, "unknown mnemonic %q", mn)
+		}
+	}
+
+	return b.Program()
+}
+
+// MustAssemble is Assemble but panics on error; for tests and examples.
+func MustAssemble(name string, kind Kind, src string, maps map[string]Map) *Program {
+	p, err := Assemble(name, kind, src, maps)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var (
+	aluOpImm = map[string]Op{
+		"mov": OpMovImm, "add": OpAddImm, "sub": OpSubImm, "mul": OpMulImm,
+		"div": OpDivImm, "mod": OpModImm, "and": OpAndImm, "or": OpOrImm,
+		"xor": OpXorImm, "lsh": OpLshImm, "rsh": OpRshImm, "arsh": OpArshImm,
+	}
+	aluOpReg = map[string]Op{
+		"mov": OpMovReg, "add": OpAddReg, "sub": OpSubReg, "mul": OpMulReg,
+		"div": OpDivReg, "mod": OpModReg, "and": OpAndReg, "or": OpOrReg,
+		"xor": OpXorReg, "lsh": OpLshReg, "rsh": OpRshReg, "arsh": OpArshReg,
+	}
+	jumpOpImm = map[string]Op{
+		"jeq": OpJeqImm, "jne": OpJneImm, "jgt": OpJgtImm, "jge": OpJgeImm,
+		"jlt": OpJltImm, "jle": OpJleImm, "jsgt": OpJsgtImm, "jsge": OpJsgeImm,
+		"jslt": OpJsltImm, "jsle": OpJsleImm, "jset": OpJsetImm,
+	}
+	jumpOpReg = map[string]Op{
+		"jeq": OpJeqReg, "jne": OpJneReg, "jgt": OpJgtReg, "jge": OpJgeReg,
+		"jlt": OpJltReg, "jle": OpJleReg, "jsgt": OpJsgtReg, "jsge": OpJsgeReg,
+		"jslt": OpJsltReg, "jsle": OpJsleReg, "jset": OpJsetReg,
+	}
+	loadOp = map[string]Op{
+		"ldxb": OpLdxB, "ldxh": OpLdxH, "ldxw": OpLdxW, "ldxdw": OpLdxDW,
+	}
+	storeOpReg = map[string]Op{
+		"stxb": OpStxB, "stxh": OpStxH, "stxw": OpStxW, "stxdw": OpStxDW,
+	}
+	storeOpImm = map[string]Op{
+		"stb": OpStB, "sth": OpStH, "stw": OpStW, "stdw": OpStDW,
+	}
+)
+
+func parseReg(s string) (Reg, bool) {
+	switch strings.ToLower(s) {
+	case "rfp", "fp", "r10":
+		return RFP, true
+	}
+	s = strings.ToLower(s)
+	if !strings.HasPrefix(s, "r") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, false
+	}
+	return Reg(n), true
+}
+
+// parseMem parses "[reg+off]", "[reg-off]", "[reg]" or "[reg+fieldname]"
+// (ctx field names resolved against the program kind's layout).
+func parseMem(s string, layout *CtxLayout) (Reg, int16, bool) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, false
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, ok := parseReg(inner)
+		return r, 0, ok
+	}
+	r, ok := parseReg(strings.TrimSpace(inner[:sep]))
+	if !ok {
+		return 0, 0, false
+	}
+	offStr := strings.TrimSpace(inner[sep+1:])
+	neg := inner[sep] == '-'
+	if f, ok := layout.FieldByName(offStr); ok && !neg {
+		return r, int16(f.Off), true
+	}
+	off, err := strconv.ParseInt(offStr, 0, 16)
+	if err != nil {
+		return 0, 0, false
+	}
+	if neg {
+		off = -off
+	}
+	return r, int16(off), true
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

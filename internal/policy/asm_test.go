@@ -1,0 +1,187 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleNUMAPolicy(t *testing.T) {
+	src := `
+		; NUMA-aware cmp_node: group nodes from the shuffler's socket
+		mov   r6, r1
+		ldxdw r2, [r6+curr_socket]
+		ldxdw r3, [r6+shuffler_socket]
+		jeq   r2, r3, group
+		mov   r0, 0
+		exit
+	group:
+		mov   r0, 1
+		exit
+	`
+	p, err := Assemble("numa", KindCmpNode, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, p)
+
+	ctx := NewCtx(KindCmpNode).Set("curr_socket", 2).Set("shuffler_socket", 2)
+	if got, _ := Exec(p, ctx, nil); got != 1 {
+		t.Errorf("same socket: got %d, want 1", got)
+	}
+	ctx.Set("curr_socket", 5)
+	if got, _ := Exec(p, ctx, nil); got != 0 {
+		t.Errorf("cross socket: got %d, want 0", got)
+	}
+}
+
+func TestAssembleWithMaps(t *testing.T) {
+	m := NewArrayMap("hits", 8, 4)
+	src := `
+		stw   [rfp-4], 0
+		ldmap r1, hits
+		mov   r2, rfp
+		add   r2, -4
+		mov   r3, 1
+		call  map_add
+		mov   r0, 0
+		exit
+	`
+	p, err := Assemble("hits", KindLockAcquired, src, map[string]Map{"hits": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, p)
+	for i := 0; i < 3; i++ {
+		if _, err := Exec(p, NewCtx(KindLockAcquired), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.At(0)[0]; got != 3 {
+		t.Errorf("hits = %d, want 3", got)
+	}
+}
+
+func TestAssembleAllALUAndJumps(t *testing.T) {
+	src := `
+		mov r2, 10
+		add r2, 5
+		sub r2, 1
+		mul r2, 2
+		div r2, 7      ; 28/7 = 4
+		mod r2, 3      ; 4%3 = 1
+		or  r2, 8      ; 9
+		and r2, 13     ; 9
+		xor r2, 1      ; 8
+		lsh r2, 1      ; 16
+		rsh r2, 2      ; 4
+		arsh r2, 1     ; 2
+		neg r2         ; -2
+		neg r2         ; 2
+		mov r3, r2
+		jge r3, 2, ok
+		mov r0, 0
+		exit
+	ok:
+		jset r3, 2, ok2
+		mov r0, 0
+		exit
+	ok2:
+		mov r0, r3
+		exit
+	`
+	p, err := Assemble("alu", KindLockAcquire, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, p)
+	if got, err := Exec(p, NewCtx(KindLockAcquire), nil); err != nil || got != 2 {
+		t.Errorf("got %d, %v; want 2", got, err)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	src := "mov r0, 1 // trailing\n; full line\nexit ; done\n"
+	p, err := Assemble("c", KindLockAcquire, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insns) != 2 {
+		t.Errorf("got %d insns, want 2", len(p.Insns))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad-mnemonic", "frobnicate r1, 2\nexit", "unknown mnemonic"},
+		{"bad-register", "mov r99, 2\nexit", "bad register"},
+		{"bad-helper", "call not_a_helper\nexit", "unknown helper"},
+		{"bad-map", "ldmap r1, nope\nexit", "unknown map"},
+		{"bad-label", "ja missing\nexit", "undefined label"},
+		{"dup-label", "x:\nmov r0,0\nx:\nexit", "duplicate label"},
+		{"bad-mem", "ldxdw r1, r2+8\nexit", "bad memory operand"},
+		{"bad-imm", "mov r1, banana\nexit", "bad operand"},
+		{"exit-operands", "exit r0", "takes no operands"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.name, KindLockAcquire, tc.src, nil)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDisassemblyRoundTrip(t *testing.T) {
+	m := NewArrayMap("m", 8, 1)
+	p := NewBuilder("rt", KindLockAcquired).
+		StoreStackImm(OpStW, -4, 0).
+		LoadMapPtr(R1, m).
+		MovReg(R2, RFP).
+		AddImm(R2, -4).
+		Call(HelperMapLookup).
+		JmpImm(OpJeqImm, R0, 0, "out").
+		Raw(Instruction{Op: OpLdxDW, Dst: R3, Src: R0, Off: 0}).
+		ReturnReg(R3).
+		Label("out").
+		ReturnImm(0).
+		MustProgram()
+	text := p.String()
+	for _, want := range []string{"ldmap", "call map_lookup", "jeq r0, 0", "exit", "stw"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAssembleNumericCtxOffset(t *testing.T) {
+	// Numeric offsets are accepted where field names are unknown.
+	f, _ := LayoutFor(KindCmpNode).FieldByName("queue_len")
+	src := "ldxdw r2, [r1+" + itoa(f.Off) + "]\nmov r0, r2\nexit"
+	p, err := Assemble("num", KindCmpNode, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, p)
+	ctx := NewCtx(KindCmpNode).Set("queue_len", 42)
+	if got, _ := Exec(p, ctx, nil); got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,291 @@
+// Package policy implements cBPF, the verified policy bytecode that plays
+// the role eBPF plays in the paper's Concord prototype (§4): userspace
+// expresses a lock policy as a small program; a static verifier proves it
+// safe (bounded execution, typed memory access, whitelisted helpers); and
+// the framework then runs it at lock hook points.
+//
+// The machine is a deliberately close cousin of eBPF:
+//
+//   - eleven 64-bit registers, R0..R10; R10 is the read-only frame pointer
+//   - a 512-byte per-invocation stack
+//   - a read-only context record describing the hook invocation
+//   - maps (array / hash / per-CPU array) as the only persistent state
+//   - helper calls as the only way to reach the outside world
+//
+// Like classic eBPF (pre-5.3), all jumps must be *forward*, so every
+// verified program is loop-free and executes each instruction at most
+// once; bounded loops are produced by compile-time unrolling in the DSL
+// front end. This makes the termination argument trivial, which is the
+// property the paper's safety story leans on.
+package policy
+
+import "fmt"
+
+// Reg identifies one of the eleven cBPF registers.
+type Reg uint8
+
+// Register names. R0 holds return values, R1..R5 are caller-saved helper
+// arguments, R6..R9 are callee-saved, R10 is the frame pointer.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10 // frame pointer (read-only)
+
+	// NumRegs is the number of architectural registers.
+	NumRegs = 11
+	// RFP is an alias for the frame pointer.
+	RFP = R10
+)
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String implements fmt.Stringer.
+func (r Reg) String() string {
+	if r == RFP {
+		return "rfp"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op is a cBPF opcode.
+type Op uint16
+
+// Opcode space. The *Imm forms take the immediate operand from
+// Instruction.Imm; the *Reg forms take it from Instruction.Src.
+const (
+	OpInvalid Op = iota
+
+	// ALU64 operations: dst = dst <op> (src|imm).
+	OpMovImm
+	OpMovReg
+	OpAddImm
+	OpAddReg
+	OpSubImm
+	OpSubReg
+	OpMulImm
+	OpMulReg
+	OpDivImm // unsigned; division by zero yields 0, as in eBPF
+	OpDivReg
+	OpModImm // unsigned; modulo by zero leaves dst unchanged, as in eBPF
+	OpModReg
+	OpAndImm
+	OpAndReg
+	OpOrImm
+	OpOrReg
+	OpXorImm
+	OpXorReg
+	OpLshImm // shift amounts are masked to 6 bits
+	OpLshReg
+	OpRshImm
+	OpRshReg
+	OpArshImm
+	OpArshReg
+	OpNeg
+
+	// Jumps. Off is relative to the *next* instruction; the verifier
+	// requires Off >= 0 (forward-only) except that Ja may also be 0.
+	OpJa
+	OpJeqImm
+	OpJeqReg
+	OpJneImm
+	OpJneReg
+	OpJgtImm // unsigned comparisons
+	OpJgtReg
+	OpJgeImm
+	OpJgeReg
+	OpJltImm
+	OpJltReg
+	OpJleImm
+	OpJleReg
+	OpJsgtImm // signed comparisons
+	OpJsgtReg
+	OpJsgeImm
+	OpJsgeReg
+	OpJsltImm
+	OpJsltReg
+	OpJsleImm
+	OpJsleReg
+	OpJsetImm // jump if dst & operand != 0
+	OpJsetReg
+
+	// Memory. Loads: dst = *(size*)(src + off). Stores:
+	// *(size*)(dst + off) = src (Stx) or = imm (St).
+	OpLdxB
+	OpLdxH
+	OpLdxW
+	OpLdxDW
+	OpStxB
+	OpStxH
+	OpStxW
+	OpStxDW
+	OpStB
+	OpStH
+	OpStW
+	OpStDW
+
+	// OpLoadMapPtr loads a reference to program map Imm into Dst
+	// (the analogue of eBPF's BPF_LD_IMM64 with BPF_PSEUDO_MAP_FD).
+	OpLoadMapPtr
+
+	// OpCall invokes helper Imm. Arguments are R1..R5, result in R0,
+	// R1..R5 are clobbered.
+	OpCall
+	// OpExit ends the program; R0 is the return value.
+	OpExit
+
+	opMax
+)
+
+var opNames = map[Op]string{
+	OpMovImm: "mov", OpMovReg: "mov",
+	OpAddImm: "add", OpAddReg: "add",
+	OpSubImm: "sub", OpSubReg: "sub",
+	OpMulImm: "mul", OpMulReg: "mul",
+	OpDivImm: "div", OpDivReg: "div",
+	OpModImm: "mod", OpModReg: "mod",
+	OpAndImm: "and", OpAndReg: "and",
+	OpOrImm: "or", OpOrReg: "or",
+	OpXorImm: "xor", OpXorReg: "xor",
+	OpLshImm: "lsh", OpLshReg: "lsh",
+	OpRshImm: "rsh", OpRshReg: "rsh",
+	OpArshImm: "arsh", OpArshReg: "arsh",
+	OpNeg:    "neg",
+	OpJa:     "ja",
+	OpJeqImm: "jeq", OpJeqReg: "jeq",
+	OpJneImm: "jne", OpJneReg: "jne",
+	OpJgtImm: "jgt", OpJgtReg: "jgt",
+	OpJgeImm: "jge", OpJgeReg: "jge",
+	OpJltImm: "jlt", OpJltReg: "jlt",
+	OpJleImm: "jle", OpJleReg: "jle",
+	OpJsgtImm: "jsgt", OpJsgtReg: "jsgt",
+	OpJsgeImm: "jsge", OpJsgeReg: "jsge",
+	OpJsltImm: "jslt", OpJsltReg: "jslt",
+	OpJsleImm: "jsle", OpJsleReg: "jsle",
+	OpJsetImm: "jset", OpJsetReg: "jset",
+	OpLdxB: "ldxb", OpLdxH: "ldxh", OpLdxW: "ldxw", OpLdxDW: "ldxdw",
+	OpStxB: "stxb", OpStxH: "stxh", OpStxW: "stxw", OpStxDW: "stxdw",
+	OpStB: "stb", OpStH: "sth", OpStW: "stw", OpStDW: "stdw",
+	OpLoadMapPtr: "ldmap",
+	OpCall:       "call",
+	OpExit:       "exit",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint16(o))
+}
+
+// Valid reports whether o names a real opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// IsALU reports whether o is an arithmetic/logic operation.
+func (o Op) IsALU() bool { return o >= OpMovImm && o <= OpNeg }
+
+// IsJump reports whether o is a (conditional or unconditional) jump.
+func (o Op) IsJump() bool { return o >= OpJa && o <= OpJsetReg }
+
+// IsCondJump reports whether o is a conditional jump.
+func (o Op) IsCondJump() bool { return o > OpJa && o <= OpJsetReg }
+
+// IsLoad reports whether o is a memory load.
+func (o Op) IsLoad() bool { return o >= OpLdxB && o <= OpLdxDW }
+
+// IsStore reports whether o is a memory store (register or immediate).
+func (o Op) IsStore() bool { return o >= OpStxB && o <= OpStDW }
+
+// UsesSrcReg reports whether the operand comes from Src rather than Imm.
+func (o Op) UsesSrcReg() bool {
+	switch o {
+	case OpMovReg, OpAddReg, OpSubReg, OpMulReg, OpDivReg, OpModReg,
+		OpAndReg, OpOrReg, OpXorReg, OpLshReg, OpRshReg, OpArshReg,
+		OpJeqReg, OpJneReg, OpJgtReg, OpJgeReg, OpJltReg, OpJleReg,
+		OpJsgtReg, OpJsgeReg, OpJsltReg, OpJsleReg, OpJsetReg,
+		OpLdxB, OpLdxH, OpLdxW, OpLdxDW,
+		OpStxB, OpStxH, OpStxW, OpStxDW:
+		return true
+	}
+	return false
+}
+
+// AccessSize returns the width in bytes of a memory access opcode, or 0.
+func (o Op) AccessSize() int {
+	switch o {
+	case OpLdxB, OpStxB, OpStB:
+		return 1
+	case OpLdxH, OpStxH, OpStH:
+		return 2
+	case OpLdxW, OpStxW, OpStW:
+		return 4
+	case OpLdxDW, OpStxDW, OpStDW:
+		return 8
+	}
+	return 0
+}
+
+// Instruction is one cBPF instruction.
+type Instruction struct {
+	Op  Op
+	Dst Reg
+	Src Reg
+	Off int16 // jump displacement or memory offset
+	Imm int64
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instruction) String() string {
+	switch {
+	case in.Op == OpExit:
+		return "exit"
+	case in.Op == OpCall:
+		if name, ok := helperNames[HelperID(in.Imm)]; ok {
+			return fmt.Sprintf("call %s", name)
+		}
+		return fmt.Sprintf("call %d", in.Imm)
+	case in.Op == OpLoadMapPtr:
+		return fmt.Sprintf("ldmap %s, %d", in.Dst, in.Imm)
+	case in.Op == OpJa:
+		return fmt.Sprintf("ja %+d", in.Off)
+	case in.Op == OpNeg:
+		return fmt.Sprintf("neg %s", in.Dst)
+	case in.Op.IsCondJump():
+		if in.Op.UsesSrcReg() {
+			return fmt.Sprintf("%s %s, %s, %+d", in.Op, in.Dst, in.Src, in.Off)
+		}
+		return fmt.Sprintf("%s %s, %d, %+d", in.Op, in.Dst, in.Imm, in.Off)
+	case in.Op.IsLoad():
+		return fmt.Sprintf("%s %s, [%s%+d]", in.Op, in.Dst, in.Src, in.Off)
+	case in.Op.IsStore():
+		if in.Op.UsesSrcReg() {
+			return fmt.Sprintf("%s [%s%+d], %s", in.Op, in.Dst, in.Off, in.Src)
+		}
+		return fmt.Sprintf("%s [%s%+d], %d", in.Op, in.Dst, in.Off, in.Imm)
+	case in.Op.IsALU():
+		if in.Op.UsesSrcReg() {
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src)
+		}
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Dst, in.Imm)
+	}
+	return fmt.Sprintf("%s dst=%s src=%s off=%d imm=%d", in.Op, in.Dst, in.Src, in.Off, in.Imm)
+}
+
+// Architectural limits, mirroring eBPF's.
+const (
+	// StackSize is the per-invocation stack size in bytes.
+	StackSize = 512
+	// MaxInsns is the maximum program length.
+	MaxInsns = 4096
+	// MaxMaps is the maximum number of maps a program may reference.
+	MaxMaps = 16
+)

@@ -1,0 +1,377 @@
+package policy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Map errors.
+var (
+	ErrKeySize    = errors.New("policy: bad key size")
+	ErrValueSize  = errors.New("policy: bad value size")
+	ErrMapFull    = errors.New("policy: map is full")
+	ErrNoDelete   = errors.New("policy: map type does not support delete")
+	ErrNoSuchKey  = errors.New("policy: no such key")
+	ErrBadMapSpec = errors.New("policy: bad map specification")
+)
+
+// Map is persistent state shared between policy invocations (and with
+// userspace), the analogue of an eBPF map.
+//
+// Values are stored as 64-bit words and each word is read and written
+// atomically, both by programs (the verifier only admits 8-byte aligned,
+// 8-byte wide access to map values) and by the accessor methods here.
+// This gives the same "racy but memory-safe" semantics in-kernel eBPF
+// maps have, without undefined behaviour on the Go side.
+type Map interface {
+	Name() string
+	// KeySize is the key size in bytes.
+	KeySize() int
+	// ValueSize is the value size in bytes; always a multiple of 8.
+	ValueSize() int
+	// MaxEntries is the capacity of the map.
+	MaxEntries() int
+	// Lookup returns the value words for key on the given (virtual) CPU,
+	// or nil if the key is absent. The returned slice aliases map
+	// storage: word-atomic stores through it are visible to all readers.
+	Lookup(key []byte, cpu int) []uint64
+	// Update sets the value for key on the given CPU, inserting if absent.
+	Update(key []byte, value []uint64, cpu int) error
+	// Delete removes key from the map.
+	Delete(key []byte) error
+}
+
+func checkSpec(name string, keySize, valueSize, maxEntries int) {
+	if keySize <= 0 || valueSize <= 0 || valueSize%8 != 0 || maxEntries <= 0 {
+		panic(fmt.Sprintf("%v: %s key=%d value=%d entries=%d",
+			ErrBadMapSpec, name, keySize, valueSize, maxEntries))
+	}
+}
+
+// atomicCopy stores src into dst one word at a time.
+func atomicCopy(dst, src []uint64) {
+	for i := range dst {
+		var w uint64
+		if i < len(src) {
+			w = atomic.LoadUint64(&src[i])
+		}
+		atomic.StoreUint64(&dst[i], w)
+	}
+}
+
+// --- Array map ---
+
+// ArrayMap is a fixed-size array indexed by a 32-bit little-endian key,
+// the analogue of BPF_MAP_TYPE_ARRAY. All entries always exist.
+type ArrayMap struct {
+	name       string
+	valueWords int
+	entries    []uint64 // maxEntries * valueWords
+	maxEntries int
+}
+
+// NewArrayMap creates an array map of maxEntries values of valueSize bytes.
+func NewArrayMap(name string, valueSize, maxEntries int) *ArrayMap {
+	checkSpec(name, 4, valueSize, maxEntries)
+	return &ArrayMap{
+		name:       name,
+		valueWords: valueSize / 8,
+		entries:    make([]uint64, maxEntries*(valueSize/8)),
+		maxEntries: maxEntries,
+	}
+}
+
+// Name implements Map.
+func (m *ArrayMap) Name() string { return m.name }
+
+// KeySize implements Map. Array map keys are 4-byte indices.
+func (m *ArrayMap) KeySize() int { return 4 }
+
+// ValueSize implements Map.
+func (m *ArrayMap) ValueSize() int { return m.valueWords * 8 }
+
+// MaxEntries implements Map.
+func (m *ArrayMap) MaxEntries() int { return m.maxEntries }
+
+func (m *ArrayMap) index(key []byte) (int, bool) {
+	if len(key) != 4 {
+		return 0, false
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx < 0 || idx >= m.maxEntries {
+		return 0, false
+	}
+	return idx, true
+}
+
+// Lookup implements Map.
+func (m *ArrayMap) Lookup(key []byte, _ int) []uint64 {
+	idx, ok := m.index(key)
+	if !ok {
+		return nil
+	}
+	return m.entries[idx*m.valueWords : (idx+1)*m.valueWords]
+}
+
+// Update implements Map.
+func (m *ArrayMap) Update(key []byte, value []uint64, cpu int) error {
+	v := m.Lookup(key, cpu)
+	if v == nil {
+		return ErrNoSuchKey
+	}
+	if len(value) != m.valueWords {
+		return ErrValueSize
+	}
+	atomicCopy(v, value)
+	return nil
+}
+
+// Delete implements Map. Array maps do not support deletion.
+func (m *ArrayMap) Delete([]byte) error { return ErrNoDelete }
+
+// At returns the value slice at integer index i (a userspace convenience).
+func (m *ArrayMap) At(i int) []uint64 {
+	var key [4]byte
+	binary.LittleEndian.PutUint32(key[:], uint32(i))
+	return m.Lookup(key[:], 0)
+}
+
+// --- Per-CPU array map ---
+
+// PerCPUArrayMap gives each virtual CPU its own array slice, the analogue
+// of BPF_MAP_TYPE_PERCPU_ARRAY. It is the recommended way for hot-path
+// policies (profilers especially) to keep counters without cacheline
+// bouncing — the same reason the kernel version exists.
+type PerCPUArrayMap struct {
+	name       string
+	valueWords int
+	maxEntries int
+	numCPUs    int
+	entries    []uint64 // numCPUs * maxEntries * valueWords
+}
+
+// NewPerCPUArrayMap creates a per-CPU array map over numCPUs virtual CPUs.
+func NewPerCPUArrayMap(name string, valueSize, maxEntries, numCPUs int) *PerCPUArrayMap {
+	checkSpec(name, 4, valueSize, maxEntries)
+	if numCPUs <= 0 {
+		panic("policy: per-cpu map needs at least one cpu")
+	}
+	return &PerCPUArrayMap{
+		name:       name,
+		valueWords: valueSize / 8,
+		maxEntries: maxEntries,
+		numCPUs:    numCPUs,
+		entries:    make([]uint64, numCPUs*maxEntries*(valueSize/8)),
+	}
+}
+
+// Name implements Map.
+func (m *PerCPUArrayMap) Name() string { return m.name }
+
+// KeySize implements Map.
+func (m *PerCPUArrayMap) KeySize() int { return 4 }
+
+// ValueSize implements Map.
+func (m *PerCPUArrayMap) ValueSize() int { return m.valueWords * 8 }
+
+// MaxEntries implements Map.
+func (m *PerCPUArrayMap) MaxEntries() int { return m.maxEntries }
+
+// NumCPUs returns the number of per-CPU slices.
+func (m *PerCPUArrayMap) NumCPUs() int { return m.numCPUs }
+
+// Lookup implements Map; the entry returned belongs to the given CPU.
+func (m *PerCPUArrayMap) Lookup(key []byte, cpu int) []uint64 {
+	if len(key) != 4 {
+		return nil
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx < 0 || idx >= m.maxEntries || cpu < 0 || cpu >= m.numCPUs {
+		return nil
+	}
+	base := (cpu*m.maxEntries + idx) * m.valueWords
+	return m.entries[base : base+m.valueWords]
+}
+
+// Update implements Map.
+func (m *PerCPUArrayMap) Update(key []byte, value []uint64, cpu int) error {
+	v := m.Lookup(key, cpu)
+	if v == nil {
+		return ErrNoSuchKey
+	}
+	if len(value) != m.valueWords {
+		return ErrValueSize
+	}
+	atomicCopy(v, value)
+	return nil
+}
+
+// Delete implements Map.
+func (m *PerCPUArrayMap) Delete([]byte) error { return ErrNoDelete }
+
+// Sum folds the first value word of entry idx across all CPUs, the usual
+// way userspace reads a per-CPU counter.
+func (m *PerCPUArrayMap) Sum(idx int) uint64 {
+	var key [4]byte
+	binary.LittleEndian.PutUint32(key[:], uint32(idx))
+	var total uint64
+	for cpu := 0; cpu < m.numCPUs; cpu++ {
+		if v := m.Lookup(key[:], cpu); v != nil {
+			total += atomic.LoadUint64(&v[0])
+		}
+	}
+	return total
+}
+
+// --- Hash map ---
+
+type hashEntry struct {
+	value []uint64
+}
+
+// HashMap is a bounded hash map with arbitrary fixed-size keys, the
+// analogue of BPF_MAP_TYPE_HASH.
+type HashMap struct {
+	name       string
+	keySize    int
+	valueWords int
+	maxEntries int
+
+	mu      sync.RWMutex
+	entries map[string]*hashEntry
+}
+
+// NewHashMap creates a hash map.
+func NewHashMap(name string, keySize, valueSize, maxEntries int) *HashMap {
+	checkSpec(name, keySize, valueSize, maxEntries)
+	return &HashMap{
+		name:       name,
+		keySize:    keySize,
+		valueWords: valueSize / 8,
+		maxEntries: maxEntries,
+		entries:    make(map[string]*hashEntry),
+	}
+}
+
+// Name implements Map.
+func (m *HashMap) Name() string { return m.name }
+
+// KeySize implements Map.
+func (m *HashMap) KeySize() int { return m.keySize }
+
+// ValueSize implements Map.
+func (m *HashMap) ValueSize() int { return m.valueWords * 8 }
+
+// MaxEntries implements Map.
+func (m *HashMap) MaxEntries() int { return m.maxEntries }
+
+// Lookup implements Map.
+func (m *HashMap) Lookup(key []byte, _ int) []uint64 {
+	if len(key) != m.keySize {
+		return nil
+	}
+	m.mu.RLock()
+	e := m.entries[string(key)]
+	m.mu.RUnlock()
+	if e == nil {
+		return nil
+	}
+	return e.value
+}
+
+// Update implements Map, inserting the key if absent.
+func (m *HashMap) Update(key []byte, value []uint64, _ int) error {
+	if len(key) != m.keySize {
+		return ErrKeySize
+	}
+	if len(value) != m.valueWords {
+		return ErrValueSize
+	}
+	m.mu.Lock()
+	e := m.entries[string(key)]
+	if e == nil {
+		if len(m.entries) >= m.maxEntries {
+			m.mu.Unlock()
+			return ErrMapFull
+		}
+		e = &hashEntry{value: make([]uint64, m.valueWords)}
+		m.entries[string(key)] = e
+	}
+	m.mu.Unlock()
+	// Existing readers may hold the value slice; copy word-atomically so
+	// they observe either old or new words, never torn bytes.
+	atomicCopy(e.value, value)
+	return nil
+}
+
+// Delete implements Map.
+func (m *HashMap) Delete(key []byte) error {
+	if len(key) != m.keySize {
+		return ErrKeySize
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[string(key)]; !ok {
+		return ErrNoSuchKey
+	}
+	delete(m.entries, string(key))
+	return nil
+}
+
+// LookupOrInit returns the value for key, atomically inserting a zero
+// value if absent. Used by the map_add helper so concurrent first-touch
+// increments cannot wipe each other out.
+func (m *HashMap) LookupOrInit(key []byte, _ int) []uint64 {
+	if len(key) != m.keySize {
+		return nil
+	}
+	m.mu.RLock()
+	e := m.entries[string(key)]
+	m.mu.RUnlock()
+	if e != nil {
+		return e.value
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e = m.entries[string(key)]; e != nil {
+		return e.value
+	}
+	if len(m.entries) >= m.maxEntries {
+		return nil
+	}
+	e = &hashEntry{value: make([]uint64, m.valueWords)}
+	m.entries[string(key)] = e
+	return e.value
+}
+
+// Len reports the number of live entries.
+func (m *HashMap) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Range calls fn for every key/value pair until fn returns false. The
+// value slice aliases map storage. Intended for userspace report readers.
+func (m *HashMap) Range(fn func(key []byte, value []uint64) bool) {
+	m.mu.RLock()
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	m.mu.RUnlock()
+	for _, k := range keys {
+		m.mu.RLock()
+		e := m.entries[k]
+		m.mu.RUnlock()
+		if e == nil {
+			continue
+		}
+		if !fn([]byte(k), e.value) {
+			return
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the "translated into native code" step of §4.2: instead
+// of interpreting instructions through the VM's opcode switch, a
+// verified program is compiled once into a chain of Go closures with
+// all operands pre-decoded. Dispatch cost per instruction drops to one
+// indirect call, roughly halving policy execution time
+// (BenchmarkVMExecCompiled vs BenchmarkVMExec); the framework attaches
+// compiled programs by default.
+//
+// Compilation requires a verified program and preserves the VM's
+// semantics exactly — the differential fuzz test in nativecomp_test.go
+// checks interpreter and compiled output against each other.
+
+// CompiledFn executes a compiled policy program.
+type CompiledFn func(ctx *Ctx, env Env) (uint64, error)
+
+// nmachine is the execution state threaded through compiled steps.
+type nmachine struct {
+	regs  [NumRegs]rtVal
+	stack [StackSize]byte
+	ctx   *Ctx
+	env   Env
+	err   error
+}
+
+// step executes one instruction and returns the next pc; pcExit ends
+// execution normally, pcFault aborts with m.err set.
+type step func(m *nmachine) int
+
+// nmPool recycles machines between executions. The stack is deliberately
+// NOT cleared on reuse: the verifier proves programs never read stack
+// bytes they did not write, so stale contents are unobservable — this
+// saves zeroing 512 bytes per policy invocation.
+var nmPool = sync.Pool{New: func() any { return new(nmachine) }}
+
+const (
+	pcExit  = -1
+	pcFault = -2
+)
+
+// CompileNative translates a verified program into a CompiledFn.
+func CompileNative(p *Program) (CompiledFn, error) {
+	if !p.verified {
+		return nil, ErrNotVerified
+	}
+	steps := make([]step, len(p.Insns))
+	for i, in := range p.Insns {
+		s, err := compileStep(p, i, in)
+		if err != nil {
+			return nil, err
+		}
+		steps[i] = s
+	}
+	name := p.Name
+	kind := p.Kind
+	n := len(steps)
+	return func(ctx *Ctx, env Env) (uint64, error) {
+		if env == nil {
+			env = DefaultEnv
+		}
+		if ctx == nil || ctx.Layout.Kind != kind {
+			return 0, &RuntimeError{Name: name, PC: -1, Msg: "context kind mismatch"}
+		}
+		m := nmPool.Get().(*nmachine)
+		m.regs = [NumRegs]rtVal{}
+		m.ctx = ctx
+		m.env = env
+		m.err = nil
+		m.regs[R1] = rtVal{typ: tPtrCtx}
+		m.regs[RFP] = rtVal{typ: tPtrStack}
+		// Verified programs are loop-free: each step runs at most once.
+		for pc, budget := 0, n+1; pc >= 0; {
+			if budget--; budget < 0 {
+				nmPool.Put(m)
+				return 0, &RuntimeError{Name: name, PC: pc, Msg: "step budget exceeded (compiler bug)"}
+			}
+			if pc >= n {
+				nmPool.Put(m)
+				return 0, &RuntimeError{Name: name, PC: pc, Msg: "fell off the end (compiler bug)"}
+			}
+			pc = steps[pc](m)
+		}
+		err := m.err
+		ret := m.regs[R0].v
+		m.ctx, m.env = nil, nil
+		nmPool.Put(m)
+		if err != nil {
+			return 0, err
+		}
+		return ret, nil
+	}, nil
+}
+
+// MustCompileNative is CompileNative for tests and examples.
+func MustCompileNative(p *Program) CompiledFn {
+	fn, err := CompileNative(p)
+	if err != nil {
+		panic(err)
+	}
+	return fn
+}
+
+func (m *nmachine) fault(name string, pc int, format string, args ...any) int {
+	m.err = &RuntimeError{Name: name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	return pcFault
+}
+
+// compileStep pre-decodes one instruction into a closure.
+func compileStep(p *Program, pc int, in Instruction) (step, error) {
+	next := pc + 1
+	name := p.Name
+	dst, src := in.Dst, in.Src
+	off := int(in.Off)
+	imm := in.Imm
+	op := in.Op
+
+	switch {
+	case op == OpExit:
+		return func(m *nmachine) int {
+			if m.regs[R0].typ != tScalar {
+				return m.fault(name, pc, "exit with non-scalar R0")
+			}
+			return pcExit
+		}, nil
+
+	case op == OpCall:
+		h := HelperID(imm)
+		return func(m *nmachine) int {
+			r0, err := execHelper(p, h, &m.regs, m.stack[:], m.env)
+			if err != nil {
+				m.err = &RuntimeError{Name: name, PC: pc, Msg: err.Error()}
+				return pcFault
+			}
+			m.regs[R0] = r0
+			for r := R1; r <= R5; r++ {
+				m.regs[r] = rtVal{}
+			}
+			return next
+		}, nil
+
+	case op == OpLoadMapPtr:
+		idx := int(imm)
+		return func(m *nmachine) int {
+			m.regs[dst] = rtVal{typ: tConstMapPtr, mapIdx: idx}
+			return next
+		}, nil
+
+	case op == OpJa:
+		target := next + off
+		return func(*nmachine) int { return target }, nil
+
+	case op.IsCondJump():
+		target := next + off
+		useSrc := op.UsesSrcReg()
+		return func(m *nmachine) int {
+			a := m.regs[dst]
+			var b uint64
+			if useSrc {
+				b = m.regs[src].v
+			} else {
+				b = uint64(imm)
+			}
+			av := a.v
+			if a.typ == tPtrMapValueOrNull {
+				if a.val == nil {
+					av = 0
+				} else {
+					av = 1
+				}
+			}
+			if condTaken(op, av, b) {
+				if a.typ == tPtrMapValueOrNull {
+					m.regs[dst] = refineNull(a, op == OpJneImm)
+				}
+				return target
+			}
+			if a.typ == tPtrMapValueOrNull {
+				m.regs[dst] = refineNull(a, op == OpJeqImm)
+			}
+			return next
+		}, nil
+
+	case op.IsLoad():
+		size := op.AccessSize()
+		return func(m *nmachine) int {
+			ptr := m.regs[src]
+			var v uint64
+			switch ptr.typ {
+			case tPtrStack:
+				idx := int(int64(ptr.v)) + off + StackSize
+				if idx < 0 || idx+size > StackSize {
+					return m.fault(name, pc, "stack load out of bounds")
+				}
+				v = loadBytes(m.stack[idx:idx+size], size)
+			case tPtrCtx:
+				o := int(int64(ptr.v)) + off
+				if o < 0 || o%8 != 0 || o/8 >= len(m.ctx.Words) {
+					return m.fault(name, pc, "ctx load out of bounds")
+				}
+				v = m.ctx.Words[o/8]
+			case tPtrMapValue:
+				o := int(int64(ptr.v)) + off
+				if size != 8 || o%8 != 0 || o < 0 || o/8 >= len(ptr.val) {
+					return m.fault(name, pc, "map value load out of bounds")
+				}
+				v = atomic.LoadUint64(&ptr.val[o/8])
+			default:
+				return m.fault(name, pc, "load through %s", ptr.typ)
+			}
+			m.regs[dst] = rtVal{typ: tScalar, v: v}
+			return next
+		}, nil
+
+	case op.IsStore():
+		size := op.AccessSize()
+		useSrc := op.UsesSrcReg()
+		return func(m *nmachine) int {
+			ptr := m.regs[dst]
+			var v uint64
+			if useSrc {
+				v = m.regs[src].v
+			} else {
+				v = uint64(imm)
+			}
+			switch ptr.typ {
+			case tPtrStack:
+				idx := int(int64(ptr.v)) + off + StackSize
+				if idx < 0 || idx+size > StackSize {
+					return m.fault(name, pc, "stack store out of bounds")
+				}
+				storeBytes(m.stack[idx:idx+size], size, v)
+			case tPtrMapValue:
+				o := int(int64(ptr.v)) + off
+				if size != 8 || o%8 != 0 || o < 0 || o/8 >= len(ptr.val) {
+					return m.fault(name, pc, "map value store out of bounds")
+				}
+				atomic.StoreUint64(&ptr.val[o/8], v)
+			default:
+				return m.fault(name, pc, "store through %s", ptr.typ)
+			}
+			return next
+		}, nil
+
+	case op == OpMovImm:
+		val := rtVal{typ: tScalar, v: uint64(imm)}
+		return func(m *nmachine) int {
+			m.regs[dst] = val
+			return next
+		}, nil
+
+	case op == OpMovReg:
+		return func(m *nmachine) int {
+			m.regs[dst] = m.regs[src]
+			return next
+		}, nil
+
+	case op.IsALU():
+		useSrc := op.UsesSrcReg()
+		isSub := op == OpSubImm || op == OpSubReg
+		return func(m *nmachine) int {
+			var sv uint64
+			if useSrc {
+				sv = m.regs[src].v
+			} else {
+				sv = uint64(imm)
+			}
+			d := m.regs[dst]
+			if d.typ.isPointer() {
+				delta := int64(sv)
+				if isSub {
+					delta = -delta
+				}
+				d.v = uint64(int64(d.v) + delta)
+				m.regs[dst] = d
+			} else {
+				m.regs[dst] = rtVal{typ: tScalar, v: aluExec(op, d.v, sv)}
+			}
+			return next
+		}, nil
+	}
+	return nil, fmt.Errorf("policy: cannot compile opcode %s", op)
+}

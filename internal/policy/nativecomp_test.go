@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCompileNativeRequiresVerification(t *testing.T) {
+	p := NewBuilder("unverified", KindLockAcquire).ReturnImm(0).MustProgram()
+	if _, err := CompileNative(p); err != ErrNotVerified {
+		t.Errorf("err = %v, want ErrNotVerified", err)
+	}
+}
+
+func TestCompileNativeMatchesInterpreter(t *testing.T) {
+	m := NewArrayMap("m", 8, 4)
+	progs := []*Program{
+		NewBuilder("alu", KindLockAcquire).
+			MovImm(R2, 21).MovImm(R3, 2).ALUReg(OpMulReg, R2, R3).
+			AddImm(R2, -2).ReturnReg(R2).MustProgram(),
+		MustAssemble("numa", KindCmpNode, `
+			mov   r6, r1
+			ldxdw r2, [r6+curr_socket]
+			ldxdw r3, [r6+shuffler_socket]
+			jeq   r2, r3, g
+			mov   r0, 0
+			exit
+		g:	mov   r0, 1
+			exit
+		`, nil),
+		counterProgramNC(m),
+	}
+	for _, p := range progs {
+		if _, err := Verify(p); err != nil {
+			t.Fatal(err)
+		}
+		fn := MustCompileNative(p)
+		for trial := 0; trial < 8; trial++ {
+			ctx := NewCtx(p.Kind)
+			for i := range ctx.Words {
+				ctx.Words[i] = uint64(trial * (i + 1))
+			}
+			env := &TestEnv{CPUID: trial}
+			// Interpreter and compiled form must agree. Map side
+			// effects run twice, which is fine for counters; compare
+			// return values from identical starting context.
+			want, errI := Exec(p, ctx, env)
+			got, errC := fn(ctx, env)
+			if (errI == nil) != (errC == nil) {
+				t.Fatalf("%s: error divergence: %v vs %v", p.Name, errI, errC)
+			}
+			// The counter program returns 1 on both paths regardless of
+			// the accumulated value; pure programs must match exactly.
+			if p.Name != "counter" && want != got {
+				t.Fatalf("%s trial %d: interp %d, compiled %d", p.Name, trial, want, got)
+			}
+		}
+	}
+}
+
+// counterProgramNC is the map-increment program used in the VM tests.
+func counterProgramNC(m Map) *Program {
+	return NewBuilder("counter", KindLockAcquired).
+		StoreStackImm(OpStW, -4, 0).
+		LoadMapPtr(R1, m).
+		MovReg(R2, RFP).
+		AddImm(R2, -4).
+		Call(HelperMapLookup).
+		JmpImm(OpJneImm, R0, 0, "hit").
+		ReturnImm(0).
+		Label("hit").
+		Raw(Instruction{Op: OpLdxDW, Dst: R3, Src: R0, Off: 0}).
+		AddImm(R3, 1).
+		Raw(Instruction{Op: OpStxDW, Dst: R0, Src: R3, Off: 0}).
+		ReturnImm(1).
+		MustProgram()
+}
+
+// TestCompiledDifferentialFuzz runs structured random programs through
+// both executors and requires identical results — the compiler's
+// correctness argument.
+func TestCompiledDifferentialFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	env := &TestEnv{CPUID: 2, NUMA: 1, Task: 5, Prio: 120}
+	checked := 0
+	for i := 0; i < 3000; i++ {
+		b := NewBuilder("dfuzz", KindLockAcquired)
+		b.MovReg(R6, R1)
+		b.MovImm(R2, int64(r.Intn(1000)))
+		b.MovImm(R3, int64(r.Intn(1000))-500)
+		for j := 0; j < r.Intn(10); j++ {
+			ops := []Op{OpAddReg, OpSubReg, OpMulReg, OpAndReg, OpOrReg,
+				OpXorReg, OpLshReg, OpRshReg, OpDivReg, OpModReg}
+			b.ALUReg(ops[r.Intn(len(ops))], R2, R3)
+			if r.Intn(3) == 0 {
+				b.LoadCtx(R4, R6, "wait_ns")
+				b.ALUReg(OpAddReg, R2, R4)
+			}
+			if r.Intn(4) == 0 {
+				lbl := "L" + itoa(j) + itoa(i)
+				b.JmpImm(OpJgtImm, R2, int64(r.Intn(2000)), lbl)
+				b.AddImm(R2, 7)
+				b.Label(lbl)
+			}
+		}
+		b.ReturnReg(R2)
+		p, err := b.Program()
+		if err != nil {
+			continue
+		}
+		if _, err := Verify(p); err != nil {
+			continue
+		}
+		fn, err := CompileNative(p)
+		if err != nil {
+			t.Fatalf("program %d failed to compile: %v\n%s", i, err, p)
+		}
+		ctx := NewCtx(KindLockAcquired)
+		for w := range ctx.Words {
+			ctx.Words[w] = r.Uint64() % 10000
+		}
+		want, errI := Exec(p, ctx, env)
+		got, errC := fn(ctx, env)
+		if errI != nil || errC != nil {
+			t.Fatalf("program %d errored: %v / %v\n%s", i, errI, errC, p)
+		}
+		if want != got {
+			t.Fatalf("program %d: interp %d != compiled %d\n%s", i, want, got, p)
+		}
+		checked++
+	}
+	if checked < 2000 {
+		t.Errorf("only %d programs checked", checked)
+	}
+}

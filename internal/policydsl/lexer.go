@@ -1,0 +1,250 @@
+// Package policydsl compiles a small C-style policy language — the form
+// in which the paper says users write their lock policies ("a user can
+// encode multiple policies in a C-style code, which is translated into
+// native code and is checked by an eBPF verifier", §4.2) — into verified
+// cBPF programs.
+//
+// A policy unit declares maps and policies:
+//
+//	map counters array(value = 8, entries = 16);
+//	map waits    hash(key = 8, value = 8, entries = 1024);
+//
+//	policy cmp_node numa {
+//	    return ctx.curr_socket == ctx.shuffler_socket;
+//	}
+//
+//	policy lock_acquired count {
+//	    counters[0] += 1;
+//	    if (ctx.wait_ns > 1000000) { trace(ctx.task_id); }
+//	    return 0;
+//	}
+//
+// The language is deliberately loop-bounded: `for i in 0..N { ... }`
+// unrolls at compile time, so every compiled program passes the
+// forward-jumps-only verifier by construction.
+package policydsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // operators and punctuation, in tok.text
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"map": true, "policy": true, "let": true, "return": true,
+	"if": true, "else": true, "for": true, "in": true, "ctx": true,
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tokInt
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a compilation error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("policydsl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer tokenizes DSL source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "..",
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && strings.HasPrefix(l.src[l.pos:], "/*"):
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(startLine, startCol, "unterminated block comment")
+				}
+				if strings.HasPrefix(l.src[l.pos:], "*/") {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentCont(c) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+
+	case isDigit(c):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if isDigit(c) || c == 'x' || c == 'X' || c == '_' ||
+				(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') {
+				l.advance()
+				continue
+			}
+			break
+		}
+		text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			// Accept the full unsigned range too.
+			u, uerr := strconv.ParseUint(text, 0, 64)
+			if uerr != nil {
+				return token{}, errf(line, col, "bad integer literal %q", text)
+			}
+			v = int64(u)
+		}
+		return token{kind: tokInt, text: text, val: v, line: line, col: col}, nil
+
+	default:
+		for _, op := range multiOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: op, line: line, col: col}, nil
+			}
+		}
+		l.advance()
+		switch c {
+		case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!',
+			'<', '>', '=', '(', ')', '{', '}', '[', ']', ';', ',', '.', '?', ':':
+			return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, errf(line, col, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package profile is the dynamic lock profiler of §3.2: unlike lockstat,
+// which profiles every lock in the kernel at once, a Profiler is attached
+// to exactly the lock instances the developer cares about — a single
+// contended lock, a handful in one code path, or everything — through the
+// same hook mechanism policies use, and can therefore be installed and
+// removed at runtime.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"concord/internal/locks"
+)
+
+// histBuckets is the number of log2 latency buckets (ns to ~9.2s).
+const histBuckets = 34
+
+// Histogram is a lock-free log2 latency histogram.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Record adds one sample (nanoseconds).
+func (h *Histogram) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // 0 for 0, else floor(log2)+1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (h *Histogram) Mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Percentile returns an upper bound for the p-th percentile (p in
+// [0,100]) at log2 resolution.
+func (h *Histogram) Percentile(p float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(float64(n) * p / 100.0)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			return 1 << b // upper bound of bucket
+		}
+	}
+	return h.max.Load()
+}
+
+// Buckets returns a copy of the raw bucket counts.
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// LockStats aggregates one lock's profile, the per-lock analogue of a
+// lockstat row.
+type LockStats struct {
+	LockID       uint64
+	Name         string
+	Acquisitions atomic.Int64
+	Contentions  atomic.Int64
+	Releases     atomic.Int64
+	ReadAcqs     atomic.Int64
+	Wait         Histogram
+	Hold         Histogram
+}
+
+// ContentionRate returns contended acquisitions / total acquisitions.
+func (s *LockStats) ContentionRate() float64 {
+	a := s.Acquisitions.Load()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Contentions.Load()) / float64(a)
+}
+
+// Profiler collects per-lock statistics via profiling hooks.
+type Profiler struct {
+	mu    sync.Mutex
+	stats map[uint64]*LockStats
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{stats: make(map[uint64]*LockStats)}
+}
+
+// statsFor returns (creating if needed) the stats of one lock.
+func (p *Profiler) statsFor(id uint64, name string) *LockStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats[id]
+	if s == nil {
+		s = &LockStats{LockID: id, Name: name}
+		p.stats[id] = s
+	}
+	return s
+}
+
+// Hooks builds the hook table that records into this profiler. The
+// caller attaches it to whichever locks it wants profiled; composing it
+// with a behavioural policy via locks.ComposeHooks profiles and steers
+// at the same time.
+func (p *Profiler) Hooks(lockName string) *locks.Hooks {
+	var cached atomic.Pointer[LockStats]
+	get := func(ev *locks.Event) *LockStats {
+		if s := cached.Load(); s != nil && s.LockID == ev.LockID {
+			return s
+		}
+		s := p.statsFor(ev.LockID, lockName)
+		cached.Store(s)
+		return s
+	}
+	return &locks.Hooks{
+		Name: "profiler",
+		OnAcquire: func(ev *locks.Event) {
+			get(ev).Acquisitions.Add(1)
+		},
+		OnContended: func(ev *locks.Event) {
+			get(ev).Contentions.Add(1)
+		},
+		OnAcquired: func(ev *locks.Event) {
+			s := get(ev)
+			s.Wait.Record(ev.WaitNS)
+			if ev.Reader {
+				s.ReadAcqs.Add(1)
+			}
+		},
+		OnRelease: func(ev *locks.Event) {
+			s := get(ev)
+			s.Releases.Add(1)
+			s.Hold.Record(ev.HoldNS)
+		},
+	}
+}
+
+// Stats returns the stats for one lock ID, if recorded.
+func (p *Profiler) Stats(lockID uint64) (*LockStats, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.stats[lockID]
+	return s, ok
+}
+
+// All returns every recorded lock's stats, sorted by contention count
+// (most contended first, like lockstat's default sort).
+func (p *Profiler) All() []*LockStats {
+	p.mu.Lock()
+	out := make([]*LockStats, 0, len(p.stats))
+	for _, s := range p.stats {
+		out = append(out, s)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Contentions.Load(), out[j].Contentions.Load()
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].LockID < out[j].LockID
+	})
+	return out
+}
+
+// Reset discards all recorded statistics.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = make(map[uint64]*LockStats)
+}
+
+// Report writes a lockstat-style table.
+func (p *Profiler) Report(w io.Writer) error {
+	all := p.All()
+	if _, err := fmt.Fprintf(w, "%-24s %10s %10s %8s %12s %12s %12s %12s\n",
+		"lock", "acq", "contended", "rate%", "wait-avg", "wait-p99", "hold-avg", "hold-max"); err != nil {
+		return err
+	}
+	for _, s := range all {
+		if _, err := fmt.Fprintf(w, "%-24s %10d %10d %8.2f %12s %12s %12s %12s\n",
+			fmt.Sprintf("%s#%d", s.Name, s.LockID),
+			s.Acquisitions.Load(), s.Contentions.Load(), 100*s.ContentionRate(),
+			fmtNS(s.Wait.Mean()), fmtNS(s.Wait.Percentile(99)),
+			fmtNS(s.Hold.Mean()), fmtNS(s.Hold.Max())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

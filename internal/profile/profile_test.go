@@ -1,0 +1,285 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/locks"
+	"concord/internal/task"
+	"concord/internal/topology"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []int64{100, 200, 300, 400} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 250 {
+		t.Errorf("Mean = %d", h.Mean())
+	}
+	if h.Max() != 400 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	// Negative samples clamp to zero rather than corrupting state.
+	h.Record(-50)
+	if h.Max() != 400 {
+		t.Error("negative sample changed max")
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	p50 := h.Percentile(50)
+	p99 := h.Percentile(99)
+	if p50 < 256 || p50 > 1024 {
+		t.Errorf("p50 = %d, want log2 bucket containing ~500", p50)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %d < p50 %d", p99, p50)
+	}
+	if h.Percentile(100) < p99 {
+		t.Error("p100 < p99")
+	}
+}
+
+func TestHistogramMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		var max int64
+		var sum int64
+		for _, v := range vals {
+			ns := int64(v)
+			h.Record(ns)
+			sum += ns
+			if ns > max {
+				max = ns
+			}
+		}
+		if len(vals) == 0 {
+			return h.Count() == 0
+		}
+		return h.Count() == int64(len(vals)) &&
+			h.Max() == max &&
+			h.Mean() == sum/int64(len(vals)) &&
+			h.Percentile(50) <= h.Percentile(99)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestProfilerEndToEnd(t *testing.T) {
+	topo := topology.New(2, 2)
+	p := New()
+	l := locks.NewShflLock("target")
+	l.HookSlot().Replace("prof", p.Hooks("target"))
+
+	tk := task.New(topo)
+	for i := 0; i < 25; i++ {
+		l.Lock(tk)
+		l.Unlock(tk)
+	}
+
+	s, ok := p.Stats(l.ID())
+	if !ok {
+		t.Fatal("no stats recorded")
+	}
+	if s.Acquisitions.Load() != 25 || s.Releases.Load() != 25 {
+		t.Errorf("acq=%d rel=%d", s.Acquisitions.Load(), s.Releases.Load())
+	}
+	if s.Wait.Count() != 25 || s.Hold.Count() != 25 {
+		t.Errorf("wait=%d hold=%d samples", s.Wait.Count(), s.Hold.Count())
+	}
+	if s.ContentionRate() != 0 {
+		t.Errorf("uncontended rate = %f", s.ContentionRate())
+	}
+}
+
+func TestProfilerAllSortsByContention(t *testing.T) {
+	p := New()
+	a := p.statsFor(1, "a")
+	b := p.statsFor(2, "b")
+	a.Contentions.Store(5)
+	b.Contentions.Store(50)
+	all := p.All()
+	if len(all) != 2 || all[0].Name != "b" {
+		t.Errorf("sort order: %v", []string{all[0].Name, all[1].Name})
+	}
+}
+
+func TestProfilerReset(t *testing.T) {
+	p := New()
+	p.statsFor(1, "a").Acquisitions.Add(3)
+	p.Reset()
+	if _, ok := p.Stats(1); ok {
+		t.Error("stats survived Reset")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := New()
+	s := p.statsFor(9, "mmap_sem")
+	s.Acquisitions.Store(100)
+	s.Contentions.Store(40)
+	s.Wait.Record(1500)
+	s.Hold.Record(2_500_000)
+	var buf bytes.Buffer
+	if err := p.Report(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mmap_sem#9", "100", "40", "40.00", "ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReaderAccounting(t *testing.T) {
+	topo := topology.New(2, 2)
+	p := New()
+	l := locks.NewBRAVO("rw", locks.NewRWSem("u"))
+	l.HookSlot().Replace("prof", p.Hooks("rw"))
+	tk := task.New(topo)
+	for i := 0; i < 5; i++ {
+		l.RLock(tk)
+		l.RUnlock(tk)
+	}
+	s, ok := p.Stats(l.ID())
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if s.ReadAcqs.Load() != 5 {
+		t.Errorf("ReadAcqs = %d, want 5", s.ReadAcqs.Load())
+	}
+}
+
+func TestTraceRingBasics(t *testing.T) {
+	r := NewTraceRing(3) // 8 slots
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Record(TraceRecord{NowNS: int64(i), LockID: 1, Op: TraceAcquired})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot %d records, want 5", len(snap))
+	}
+	for i, rec := range snap {
+		if rec.NowNS != int64(i) {
+			t.Errorf("record %d out of order: %d", i, rec.NowNS)
+		}
+	}
+	if r.Overwritten() != 0 {
+		t.Errorf("Overwritten = %d", r.Overwritten())
+	}
+}
+
+func TestTraceRingWrapAround(t *testing.T) {
+	r := NewTraceRing(2) // 4 slots
+	for i := 0; i < 10; i++ {
+		r.Record(TraceRecord{NowNS: int64(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot %d records, want 4", len(snap))
+	}
+	if snap[0].NowNS != 6 || snap[3].NowNS != 9 {
+		t.Errorf("kept wrong records: %v..%v", snap[0].NowNS, snap[3].NowNS)
+	}
+	if r.Overwritten() != 6 {
+		t.Errorf("Overwritten = %d, want 6", r.Overwritten())
+	}
+}
+
+func TestTraceRingHooksEndToEnd(t *testing.T) {
+	topo := topology.New(2, 2)
+	r := NewTraceRing(8)
+	l := locks.NewShflLock("traced")
+	l.HookSlot().Replace("trace", r.Hooks())
+	tk := task.New(topo)
+	for i := 0; i < 10; i++ {
+		l.Lock(tk)
+		l.Unlock(tk)
+	}
+	snap := r.Snapshot()
+	var acq, rel int
+	for _, rec := range snap {
+		switch rec.Op {
+		case TraceAcquired:
+			acq++
+		case TraceRelease:
+			rel++
+		}
+		if rec.LockID != l.ID() || rec.TaskID != tk.ID() {
+			t.Errorf("bad identity in record %+v", rec)
+		}
+	}
+	if acq != 10 || rel != 10 {
+		t.Errorf("acquired=%d released=%d, want 10/10", acq, rel)
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "acquired") {
+		t.Error("dump missing op names")
+	}
+}
+
+func TestTraceRingConcurrentWriters(t *testing.T) {
+	r := NewTraceRing(10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(TraceRecord{NowNS: int64(w*1000 + i), Op: TraceAcquire})
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) == 0 || len(snap) > r.Cap() {
+		t.Errorf("snapshot size %d", len(snap))
+	}
+	// Hammering readers against writers must never return torn garbage;
+	// every record's op must be valid.
+	for _, rec := range snap {
+		if rec.Op != TraceAcquire {
+			t.Errorf("torn record: %+v", rec)
+		}
+	}
+}

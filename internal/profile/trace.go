@@ -1,0 +1,134 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"concord/internal/locks"
+)
+
+// TraceOp classifies a trace record.
+type TraceOp uint8
+
+// Trace record operations (the four profiling hook points).
+const (
+	TraceAcquire TraceOp = iota + 1
+	TraceContended
+	TraceAcquired
+	TraceRelease
+)
+
+var traceOpNames = [...]string{
+	TraceAcquire: "acquire", TraceContended: "contended",
+	TraceAcquired: "acquired", TraceRelease: "release",
+}
+
+// String implements fmt.Stringer.
+func (op TraceOp) String() string {
+	if int(op) < len(traceOpNames) && traceOpNames[op] != "" {
+		return traceOpNames[op]
+	}
+	return "?"
+}
+
+// TraceRecord is one lock event, compact enough to record at full rate.
+type TraceRecord struct {
+	NowNS  int64
+	LockID uint64
+	TaskID int64
+	Op     TraceOp
+	CPU    int32
+	WaitNS int64
+	HoldNS int64
+}
+
+// TraceRing is a lock-free, fixed-size ring of lock events — the
+// finest-grained §3.2 profiling mode: where LockStats aggregates, the
+// ring keeps the raw event sequence for offline analysis (per-task
+// timelines, queue reconstruction). Writers never block; old records
+// are overwritten. Each slot holds an immutable record behind an atomic
+// pointer, so concurrent readers always see whole records.
+type TraceRing struct {
+	mask uint64
+	pos  atomic.Uint64
+	recs []atomic.Pointer[TraceRecord]
+	lost atomic.Int64
+}
+
+// NewTraceRing returns a ring holding 2^order records.
+func NewTraceRing(order uint) *TraceRing {
+	n := uint64(1) << order
+	return &TraceRing{
+		mask: n - 1,
+		recs: make([]atomic.Pointer[TraceRecord], n),
+	}
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.recs) }
+
+// Record appends one event, overwriting the oldest if full.
+func (r *TraceRing) Record(rec TraceRecord) {
+	i := (r.pos.Add(1) - 1) & r.mask
+	if r.recs[i].Swap(&rec) != nil {
+		r.lost.Add(1) // slot reused: a previous record was overwritten
+	}
+}
+
+// Overwritten reports how many records were lost to wrap-around.
+func (r *TraceRing) Overwritten() int64 { return r.lost.Load() }
+
+// Snapshot returns the records currently in the ring, oldest first
+// (best effort under concurrent writes).
+func (r *TraceRing) Snapshot() []TraceRecord {
+	n := uint64(len(r.recs))
+	end := r.pos.Load()
+	start := uint64(0)
+	if end > n {
+		start = end - n
+	}
+	out := make([]TraceRecord, 0, end-start)
+	for p := start; p < end; p++ {
+		if rec := r.recs[p&r.mask].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	return out
+}
+
+// Hooks builds a hook table recording every event into the ring;
+// compose it with other hooks via locks.ComposeHooks.
+func (r *TraceRing) Hooks() *locks.Hooks {
+	rec := func(op TraceOp) func(ev *locks.Event) {
+		return func(ev *locks.Event) {
+			tr := TraceRecord{
+				NowNS: ev.NowNS, LockID: ev.LockID, Op: op,
+				WaitNS: ev.WaitNS, HoldNS: ev.HoldNS,
+			}
+			if ev.Task != nil {
+				tr.TaskID = ev.Task.ID()
+				tr.CPU = int32(ev.Task.CPU())
+			}
+			r.Record(tr)
+		}
+	}
+	return &locks.Hooks{
+		Name:        "trace",
+		OnAcquire:   rec(TraceAcquire),
+		OnContended: rec(TraceContended),
+		OnAcquired:  rec(TraceAcquired),
+		OnRelease:   rec(TraceRelease),
+	}
+}
+
+// Dump writes the snapshot as one line per record.
+func (r *TraceRing) Dump(w io.Writer) error {
+	for _, rec := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%d lock=%d task=%d cpu=%d %s wait=%d hold=%d\n",
+			rec.NowNS, rec.LockID, rec.TaskID, rec.CPU, rec.Op, rec.WaitNS, rec.HoldNS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

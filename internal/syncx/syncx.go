@@ -1,0 +1,251 @@
+// Package syncx implements the further kernel synchronization
+// mechanisms the paper's discussion section targets for C3 extension
+// (§6 "Other synchronization mechanisms ... RCU, seqlocks, wait
+// events"): a sequence lock whose write side is any hookable lock (so
+// Concord policies and profilers apply to it unchanged), a userspace
+// RCU with grace periods and deferred callbacks, and a kernel-style
+// wait queue.
+package syncx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"concord/internal/locks"
+	"concord/internal/task"
+)
+
+// --- Sequence lock ---
+
+// SeqLock is a sequence lock (Linux's seqlock_t): writers serialize on
+// an embedded lock and bump a sequence counter around their critical
+// section; readers run lock-free and retry if the sequence moved.
+// Because the write side is a locks.Lock, Concord policies attach to a
+// SeqLock exactly as to any other lock — the extension path §6 sketches.
+type SeqLock struct {
+	seq atomic.Uint64
+	w   locks.Lock
+
+	retries atomic.Int64
+}
+
+// NewSeqLock wraps w as the write side of a sequence lock.
+func NewSeqLock(w locks.Lock) *SeqLock { return &SeqLock{w: w} }
+
+// WriteLock enters the write-side critical section.
+func (s *SeqLock) WriteLock(t *task.T) {
+	s.w.Lock(t)
+	s.seq.Add(1) // odd: write in progress
+}
+
+// WriteUnlock leaves the write-side critical section.
+func (s *SeqLock) WriteUnlock(t *task.T) {
+	s.seq.Add(1) // even: stable
+	s.w.Unlock(t)
+}
+
+// ReadBegin starts an optimistic read section, spinning past any
+// in-progress write, and returns the sequence to validate against.
+func (s *SeqLock) ReadBegin() uint64 {
+	for i := 0; ; i++ {
+		seq := s.seq.Load()
+		if seq&1 == 0 {
+			return seq
+		}
+		if i&3 == 3 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// ReadRetry reports whether the read section raced a writer and must be
+// retried.
+func (s *SeqLock) ReadRetry(seq uint64) bool {
+	retry := s.seq.Load() != seq
+	if retry {
+		s.retries.Add(1)
+	}
+	return retry
+}
+
+// Read runs fn optimistically until it completes without a concurrent
+// write; fn must be side-effect free until the final iteration's value
+// is used.
+func (s *SeqLock) Read(fn func()) {
+	for {
+		seq := s.ReadBegin()
+		fn()
+		if !s.ReadRetry(seq) {
+			return
+		}
+	}
+}
+
+// Retries reports how many read sections had to retry (monitoring).
+func (s *SeqLock) Retries() int64 { return s.retries.Load() }
+
+// WriteSide exposes the embedded write lock (to attach policies).
+func (s *SeqLock) WriteSide() locks.Lock { return s.w }
+
+// --- RCU ---
+
+// RCU is a userspace read-copy-update domain in the style of two-phase
+// URCU: read-side critical sections are wait-free counter operations;
+// Synchronize flips the grace-period phase and waits for the previous
+// phase's readers to drain; Call defers a callback to after the next
+// grace period.
+type RCU struct {
+	phase   atomic.Uint64 // low bit selects the active reader counter
+	readers [2]atomic.Int64
+
+	mu        sync.Mutex // serializes writers/synchronize
+	callbacks []func()
+
+	graceCount atomic.Int64
+}
+
+// NewRCU returns an RCU domain.
+func NewRCU() *RCU { return &RCU{} }
+
+// ReadLock enters a read-side critical section and returns a token that
+// must be passed to the matching ReadUnlock. Read sections may nest
+// (each gets its own token) and never block.
+func (r *RCU) ReadLock() uint64 {
+	for {
+		p := r.phase.Load() & 1
+		r.readers[p].Add(1)
+		// Re-validate: if Synchronize flipped the phase between the load
+		// and the increment, back out and join the new phase so the old
+		// one can drain.
+		if r.phase.Load()&1 == p {
+			return p
+		}
+		r.readers[p].Add(-1)
+	}
+}
+
+// ReadUnlock leaves a read-side critical section.
+func (r *RCU) ReadUnlock(token uint64) {
+	if n := r.readers[token&1].Add(-1); n < 0 {
+		panic("syncx: RCU ReadUnlock without ReadLock")
+	}
+}
+
+// Synchronize blocks until every read-side critical section that began
+// before the call has ended, then runs any deferred callbacks.
+func (r *RCU) Synchronize() {
+	r.mu.Lock()
+	cbs := r.callbacks
+	r.callbacks = nil
+
+	// Two flips, like URCU: a reader that raced the first flip into the
+	// old phase is caught by the second drain.
+	for flip := 0; flip < 2; flip++ {
+		old := r.phase.Add(1) - 1 // previous phase
+		for i := 0; r.readers[old&1].Load() != 0; i++ {
+			if i&3 == 3 {
+				runtime.Gosched()
+			}
+		}
+	}
+	r.graceCount.Add(1)
+	r.mu.Unlock()
+
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// Call defers fn until after the next grace period (call_rcu). If no
+// one calls Synchronize, the callback stays queued — as in the kernel,
+// reclamation needs grace periods to happen.
+func (r *RCU) Call(fn func()) {
+	r.mu.Lock()
+	r.callbacks = append(r.callbacks, fn)
+	r.mu.Unlock()
+}
+
+// GracePeriods reports how many grace periods have completed.
+func (r *RCU) GracePeriods() int64 { return r.graceCount.Load() }
+
+// --- Wait queue ---
+
+// WaitQueue is a kernel-style wait queue (wait_event/wake_up): tasks
+// wait for an arbitrary condition; wakers signal re-evaluation. The
+// paper's §3.1.1 notes Btrfs pairs non-blocking locks with exactly this
+// ad-hoc mechanism — which a C3 parking policy can subsume.
+type WaitQueue struct {
+	mu      sync.Mutex
+	waiters map[chan struct{}]struct{}
+
+	wakeups atomic.Int64
+}
+
+// NewWaitQueue returns an empty wait queue.
+func NewWaitQueue() *WaitQueue {
+	return &WaitQueue{waiters: make(map[chan struct{}]struct{})}
+}
+
+// Wait blocks until cond() is true, re-evaluating on every wake-up.
+// cond runs outside the queue lock and must be safe to call repeatedly.
+func (q *WaitQueue) Wait(cond func() bool) {
+	for {
+		if cond() {
+			return
+		}
+		ch := make(chan struct{}, 1)
+		q.mu.Lock()
+		q.waiters[ch] = struct{}{}
+		q.mu.Unlock()
+		// Re-check after registering: a waker that ran in between has
+		// already been observed or will signal ch.
+		if cond() {
+			q.remove(ch)
+			return
+		}
+		<-ch
+	}
+}
+
+func (q *WaitQueue) remove(ch chan struct{}) {
+	q.mu.Lock()
+	delete(q.waiters, ch)
+	q.mu.Unlock()
+}
+
+// WakeAll wakes every waiter to re-evaluate its condition.
+func (q *WaitQueue) WakeAll() {
+	q.mu.Lock()
+	for ch := range q.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+		delete(q.waiters, ch)
+	}
+	q.wakeups.Add(1)
+	q.mu.Unlock()
+}
+
+// WakeOne wakes at most one waiter.
+func (q *WaitQueue) WakeOne() {
+	q.mu.Lock()
+	for ch := range q.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+		delete(q.waiters, ch)
+		break
+	}
+	q.wakeups.Add(1)
+	q.mu.Unlock()
+}
+
+// Waiters reports the number of currently registered waiters.
+func (q *WaitQueue) Waiters() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiters)
+}

@@ -1,0 +1,237 @@
+// Package task models the kernel's notion of the *current task* for the
+// purposes of concurrency control. A kernel lock implicitly knows which
+// task is acquiring it (current) and which CPU it runs on
+// (smp_processor_id()); in userspace Go that context must be carried
+// explicitly, so every lock operation in this repository takes a *task.T.
+//
+// The fields mirror exactly the context the paper's use cases need (§3):
+// CPU and socket identity for NUMA-aware shuffling, priority for
+// boosting/inheritance, the set of held locks for lock inheritance,
+// critical-section accounting for scheduler-subversion policies, and a
+// vCPU time quota for hypervisor-exposed scheduling.
+package task
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"concord/internal/topology"
+)
+
+// Policy-visible priority levels, mirroring Linux niceness bands.
+const (
+	PrioIdle     = 0
+	PrioLow      = 20
+	PrioNormal   = 120
+	PrioHigh     = 140
+	PrioRealtime = 200
+)
+
+var nextID atomic.Int64
+
+// T is one execution context (a thread, in kernel terms).
+//
+// Fields that policies read while the task sits in a lock queue are
+// accessed via atomic methods, because the shuffler examines waiting
+// tasks from another thread.
+type T struct {
+	id  int64
+	cpu atomic.Int64 // virtual CPU; may change if migrated
+
+	topo *topology.Topology
+
+	prio   atomic.Int64
+	weight atomic.Int64
+
+	// heldLocks is a bitmask over small lock IDs (0..63). The kernel
+	// tracks held locks per task for lockdep; a 64-bit mask covers every
+	// lock class this repository instantiates in one scenario and keeps
+	// the hot path to a single atomic load, which matters because the
+	// shuffler consults it for the lock-inheritance policy (§3.1.1).
+	heldLocks atomic.Uint64
+
+	// Critical-section accounting for occupancy-aware policies (§3.1.2).
+	csStartNS   atomic.Int64
+	csTotalNS   atomic.Int64
+	csCount     atomic.Int64
+	csLastNS    atomic.Int64
+	acquisition atomic.Int64
+
+	// vCPU scheduling info a hypervisor would expose (§3.1.1,
+	// "Exposing scheduler semantics").
+	quotaNS   atomic.Int64
+	preempted atomic.Bool
+}
+
+// New creates a task pinned to a fresh virtual CPU of topo (round-robin).
+func New(topo *topology.Topology) *T {
+	t := &T{topo: topo}
+	t.id = nextID.Add(1)
+	t.cpu.Store(int64(topo.AutoPin()))
+	t.prio.Store(PrioNormal)
+	t.weight.Store(1)
+	return t
+}
+
+// NewOnCPU creates a task pinned to a specific virtual CPU.
+func NewOnCPU(topo *topology.Topology, cpu int) *T {
+	t := New(topo)
+	t.Migrate(cpu)
+	return t
+}
+
+// ID returns the task's unique identifier (analogous to a PID).
+func (t *T) ID() int64 { return t.id }
+
+// CPU returns the virtual CPU the task currently runs on.
+func (t *T) CPU() int { return int(t.cpu.Load()) }
+
+// Socket returns the NUMA node of the task's current CPU.
+func (t *T) Socket() int { return t.topo.SocketOf(t.CPU()) }
+
+// Topology returns the topology the task lives on.
+func (t *T) Topology() *topology.Topology { return t.topo }
+
+// Migrate moves the task to another virtual CPU.
+func (t *T) Migrate(cpu int) {
+	if cpu < 0 || cpu >= t.topo.NumCPUs() {
+		panic(fmt.Sprintf("task: migrate to invalid cpu %d", cpu))
+	}
+	t.cpu.Store(int64(cpu))
+}
+
+// Speed returns the AMP speed class of the task's current CPU.
+func (t *T) Speed() topology.SpeedClass { return t.topo.Speed(t.CPU()) }
+
+// Priority returns the task's scheduling priority (higher is more urgent).
+func (t *T) Priority() int64 { return t.prio.Load() }
+
+// SetPriority updates the task's scheduling priority.
+func (t *T) SetPriority(p int64) { t.prio.Store(p) }
+
+// BoostPriority raises the priority to at least p and returns the old
+// value, for priority-inheritance policies (§3.1.2).
+func (t *T) BoostPriority(p int64) (old int64) {
+	for {
+		old = t.prio.Load()
+		if old >= p {
+			return old
+		}
+		if t.prio.CompareAndSwap(old, p) {
+			return old
+		}
+	}
+}
+
+// Weight returns the scheduler weight (share) of the task.
+func (t *T) Weight() int64 { return t.weight.Load() }
+
+// SetWeight sets the scheduler weight (share) of the task.
+func (t *T) SetWeight(w int64) { t.weight.Store(w) }
+
+// --- Held-lock tracking (lock inheritance, §3.1.1) ---
+
+// MaxTrackedLockID is the largest lock ID representable in the held-lock
+// mask. Locks with larger IDs are still correct; they are just invisible
+// to Holds-based policies.
+const MaxTrackedLockID = 63
+
+// NoteAcquired records that the task now holds the lock with the given ID.
+func (t *T) NoteAcquired(lockID uint64) {
+	if lockID <= MaxTrackedLockID {
+		t.heldLocks.Or(1 << lockID)
+	}
+	t.acquisition.Add(1)
+}
+
+// NoteReleased records that the task released the lock with the given ID.
+func (t *T) NoteReleased(lockID uint64) {
+	if lockID <= MaxTrackedLockID {
+		t.heldLocks.And(^uint64(1 << lockID))
+	}
+}
+
+// Holds reports whether the task currently holds the lock with the given ID.
+func (t *T) Holds(lockID uint64) bool {
+	if lockID > MaxTrackedLockID {
+		return false
+	}
+	return t.heldLocks.Load()&(1<<lockID) != 0
+}
+
+// HeldMask returns the raw held-lock bitmask.
+func (t *T) HeldMask() uint64 { return t.heldLocks.Load() }
+
+// HeldCount returns the number of tracked locks currently held.
+func (t *T) HeldCount() int {
+	n := 0
+	for m := t.heldLocks.Load(); m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// --- Critical-section accounting (scheduler subversion, §3.1.2) ---
+
+// EnterCS marks the beginning of a critical section at the given
+// timestamp (nanoseconds on whichever clock the caller uses).
+func (t *T) EnterCS(nowNS int64) { t.csStartNS.Store(nowNS) }
+
+// ExitCS marks the end of a critical section and accumulates its length.
+func (t *T) ExitCS(nowNS int64) {
+	start := t.csStartNS.Load()
+	if start == 0 {
+		return
+	}
+	d := nowNS - start
+	if d < 0 {
+		d = 0
+	}
+	t.csStartNS.Store(0)
+	t.csLastNS.Store(d)
+	t.csTotalNS.Add(d)
+	t.csCount.Add(1)
+}
+
+// CSTotal returns the cumulative time the task has spent in critical
+// sections.
+func (t *T) CSTotal() int64 { return t.csTotalNS.Load() }
+
+// CSCount returns how many critical sections the task has completed.
+func (t *T) CSCount() int64 { return t.csCount.Load() }
+
+// CSLast returns the duration of the most recent critical section.
+func (t *T) CSLast() int64 { return t.csLastNS.Load() }
+
+// CSAverage returns the task's mean critical-section length, or 0 if the
+// task has not completed one yet.
+func (t *T) CSAverage() int64 {
+	n := t.csCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return t.csTotalNS.Load() / n
+}
+
+// Acquisitions returns the total number of lock acquisitions by the task.
+func (t *T) Acquisitions() int64 { return t.acquisition.Load() }
+
+// --- vCPU scheduling info (§3.1.1, "Exposing scheduler semantics") ---
+
+// SetQuota records the remaining running-time quota the hypervisor has
+// granted this task's vCPU.
+func (t *T) SetQuota(ns int64) { t.quotaNS.Store(ns) }
+
+// Quota returns the remaining vCPU time quota.
+func (t *T) Quota() int64 { return t.quotaNS.Load() }
+
+// SetPreempted marks whether the task's vCPU is currently scheduled out.
+func (t *T) SetPreempted(p bool) { t.preempted.Store(p) }
+
+// Preempted reports whether the task's vCPU is currently scheduled out.
+func (t *T) Preempted() bool { return t.preempted.Load() }
+
+// String implements fmt.Stringer.
+func (t *T) String() string {
+	return fmt.Sprintf("task(id=%d cpu=%d socket=%d prio=%d)", t.ID(), t.CPU(), t.Socket(), t.Priority())
+}

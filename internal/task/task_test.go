@@ -1,0 +1,176 @@
+package task
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/topology"
+)
+
+func topo() *topology.Topology { return topology.New(4, 4) }
+
+func TestIdentity(t *testing.T) {
+	tp := topo()
+	a, b := New(tp), New(tp)
+	if a.ID() == b.ID() {
+		t.Error("duplicate task IDs")
+	}
+	if a.Topology() != tp {
+		t.Error("topology lost")
+	}
+	c := NewOnCPU(tp, 9)
+	if c.CPU() != 9 || c.Socket() != 2 {
+		t.Errorf("pinned task: cpu=%d socket=%d", c.CPU(), c.Socket())
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	tk := New(topo())
+	tk.Migrate(12)
+	if tk.CPU() != 12 || tk.Socket() != 3 {
+		t.Errorf("after migrate: cpu=%d socket=%d", tk.CPU(), tk.Socket())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("migrate to bad cpu should panic")
+		}
+	}()
+	tk.Migrate(99)
+}
+
+func TestPriority(t *testing.T) {
+	tk := New(topo())
+	if tk.Priority() != PrioNormal {
+		t.Errorf("default prio = %d", tk.Priority())
+	}
+	tk.SetPriority(PrioLow)
+	if old := tk.BoostPriority(PrioHigh); old != PrioLow {
+		t.Errorf("boost returned %d", old)
+	}
+	if tk.Priority() != PrioHigh {
+		t.Errorf("after boost: %d", tk.Priority())
+	}
+	// Boost never lowers.
+	tk.BoostPriority(PrioLow)
+	if tk.Priority() != PrioHigh {
+		t.Error("boost lowered priority")
+	}
+}
+
+func TestBoostPriorityConcurrent(t *testing.T) {
+	tk := New(topo())
+	tk.SetPriority(0)
+	var wg sync.WaitGroup
+	for i := 1; i <= 50; i++ {
+		wg.Add(1)
+		go func(p int64) {
+			defer wg.Done()
+			tk.BoostPriority(p)
+		}(int64(i))
+	}
+	wg.Wait()
+	if tk.Priority() != 50 {
+		t.Errorf("after concurrent boosts: %d, want 50", tk.Priority())
+	}
+}
+
+func TestHeldLockTracking(t *testing.T) {
+	tk := New(topo())
+	if tk.Holds(3) || tk.HeldCount() != 0 {
+		t.Fatal("fresh task holds locks")
+	}
+	tk.NoteAcquired(3)
+	tk.NoteAcquired(7)
+	if !tk.Holds(3) || !tk.Holds(7) || tk.HeldCount() != 2 {
+		t.Errorf("held: %b", tk.HeldMask())
+	}
+	if tk.Acquisitions() != 2 {
+		t.Errorf("acquisitions = %d", tk.Acquisitions())
+	}
+	tk.NoteReleased(3)
+	if tk.Holds(3) || !tk.Holds(7) || tk.HeldCount() != 1 {
+		t.Errorf("after release: %b", tk.HeldMask())
+	}
+	// IDs beyond the mask are tolerated, just untracked.
+	tk.NoteAcquired(200)
+	if tk.Holds(200) {
+		t.Error("untrackable ID reported as held")
+	}
+	tk.NoteReleased(200)
+}
+
+func TestHeldMaskProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		tk := New(topo())
+		want := uint64(0)
+		for _, id := range ids {
+			lid := uint64(id) % 64
+			tk.NoteAcquired(lid)
+			want |= 1 << lid
+		}
+		return tk.HeldMask() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSAccounting(t *testing.T) {
+	tk := New(topo())
+	if tk.CSAverage() != 0 {
+		t.Error("empty average nonzero")
+	}
+	tk.EnterCS(1000)
+	tk.ExitCS(1500)
+	tk.EnterCS(2000)
+	tk.ExitCS(2100)
+	if tk.CSCount() != 2 || tk.CSTotal() != 600 || tk.CSLast() != 100 {
+		t.Errorf("count=%d total=%d last=%d", tk.CSCount(), tk.CSTotal(), tk.CSLast())
+	}
+	if tk.CSAverage() != 300 {
+		t.Errorf("avg = %d", tk.CSAverage())
+	}
+	// Exit without enter is a no-op; negative durations clamp to 0.
+	tk.ExitCS(5000)
+	if tk.CSCount() != 2 {
+		t.Error("unpaired exit counted")
+	}
+	tk.EnterCS(9000)
+	tk.ExitCS(8000)
+	if tk.CSLast() != 0 {
+		t.Errorf("negative CS not clamped: %d", tk.CSLast())
+	}
+}
+
+func TestVCPUFields(t *testing.T) {
+	tk := New(topo())
+	tk.SetQuota(12345)
+	tk.SetPreempted(true)
+	if tk.Quota() != 12345 || !tk.Preempted() {
+		t.Error("vCPU fields lost")
+	}
+	tk.SetPreempted(false)
+	if tk.Preempted() {
+		t.Error("preempted flag stuck")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	tk := New(topo())
+	if tk.Weight() != 1 {
+		t.Errorf("default weight = %d", tk.Weight())
+	}
+	tk.SetWeight(8)
+	if tk.Weight() != 8 {
+		t.Error("weight lost")
+	}
+}
+
+func TestString(t *testing.T) {
+	tk := NewOnCPU(topo(), 5)
+	s := tk.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

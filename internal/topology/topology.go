@@ -1,0 +1,207 @@
+// Package topology models the machine topology that kernel lock policies
+// reason about: sockets (NUMA nodes), cores, SMT siblings, asymmetric
+// (AMP) core speed classes, and inter-node distances.
+//
+// The paper's evaluation machine is an eight-socket, 80-core server; this
+// host may have a single CPU, so the topology here is *virtual*: worker
+// goroutines and simulated tasks are pinned to virtual CPUs, and policies
+// (NUMA-aware shuffling, AMP-aware reordering, per-socket reader counters)
+// consult this package instead of the real hardware. The shape of the
+// contention behaviour depends only on these virtual identities.
+package topology
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SpeedClass describes the relative performance of a core on an
+// asymmetric multicore processor (AMP). Faster classes have larger values.
+type SpeedClass float64
+
+const (
+	// SpeedNormal is a symmetric core.
+	SpeedNormal SpeedClass = 1.0
+	// SpeedBig is a fast core on a big.LITTLE style machine.
+	SpeedBig SpeedClass = 1.0
+	// SpeedLittle is an energy-efficient slow core.
+	SpeedLittle SpeedClass = 0.35
+)
+
+// Topology is an immutable description of a (virtual) machine.
+type Topology struct {
+	sockets        int
+	coresPerSocket int
+	speeds         []SpeedClass // indexed by CPU
+	distance       [][]int      // NUMA distance matrix, indexed by socket
+
+	nextCPU atomic.Uint32 // round-robin cursor for AutoPin
+
+	mu   sync.Mutex
+	pins map[int]int // task ID -> CPU (explicit pins)
+}
+
+// Option configures a Topology.
+type Option func(*Topology)
+
+// WithAMP assigns the given speed class to every CPU whose index satisfies
+// pred. Use to build big.LITTLE style virtual machines.
+func WithAMP(pred func(cpu int) bool, class SpeedClass) Option {
+	return func(t *Topology) {
+		for cpu := range t.speeds {
+			if pred(cpu) {
+				t.speeds[cpu] = class
+			}
+		}
+	}
+}
+
+// WithDistance overrides the NUMA distance between two sockets
+// (symmetrically). Distances default to 10 on the diagonal and 20
+// elsewhere, mirroring the convention of ACPI SLIT tables.
+func WithDistance(a, b, d int) Option {
+	return func(t *Topology) {
+		t.distance[a][b] = d
+		t.distance[b][a] = d
+	}
+}
+
+// New builds a topology of sockets × coresPerSocket identical cores.
+func New(sockets, coresPerSocket int, opts ...Option) *Topology {
+	if sockets <= 0 || coresPerSocket <= 0 {
+		panic(fmt.Sprintf("topology: invalid shape %d×%d", sockets, coresPerSocket))
+	}
+	n := sockets * coresPerSocket
+	t := &Topology{
+		sockets:        sockets,
+		coresPerSocket: coresPerSocket,
+		speeds:         make([]SpeedClass, n),
+		distance:       make([][]int, sockets),
+		pins:           make(map[int]int),
+	}
+	for i := range t.speeds {
+		t.speeds[i] = SpeedNormal
+	}
+	for i := range t.distance {
+		t.distance[i] = make([]int, sockets)
+		for j := range t.distance[i] {
+			if i == j {
+				t.distance[i][j] = 10
+			} else {
+				t.distance[i][j] = 20
+			}
+		}
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Paper returns the eight-socket, 80-core topology used in the paper's
+// evaluation (§5).
+func Paper() *Topology { return New(8, 10) }
+
+// BigLittle returns an AMP topology with one socket of fast cores and one
+// socket of slow cores, in the style of recent hybrid processors (§3.1.2,
+// "Task-fair locks on AMP machines").
+func BigLittle(big, little int) *Topology {
+	per := big
+	if little > per {
+		per = little
+	}
+	t := New(2, per)
+	for cpu := 0; cpu < t.NumCPUs(); cpu++ {
+		switch {
+		case t.SocketOf(cpu) == 0 && cpu%per < big:
+			t.speeds[cpu] = SpeedBig
+		case t.SocketOf(cpu) == 1 && cpu%per < little:
+			t.speeds[cpu] = SpeedLittle
+		}
+	}
+	return t
+}
+
+// NumCPUs reports the number of virtual CPUs.
+func (t *Topology) NumCPUs() int { return t.sockets * t.coresPerSocket }
+
+// NumSockets reports the number of sockets (NUMA nodes).
+func (t *Topology) NumSockets() int { return t.sockets }
+
+// CoresPerSocket reports the number of cores in each socket.
+func (t *Topology) CoresPerSocket() int { return t.coresPerSocket }
+
+// SocketOf reports the socket that owns cpu. CPUs are numbered so that
+// consecutive blocks of CoresPerSocket CPUs share a socket.
+func (t *Topology) SocketOf(cpu int) int {
+	if cpu < 0 || cpu >= t.NumCPUs() {
+		panic(fmt.Sprintf("topology: cpu %d out of range [0,%d)", cpu, t.NumCPUs()))
+	}
+	return cpu / t.coresPerSocket
+}
+
+// CPUsOfSocket returns the CPU IDs belonging to socket s.
+func (t *Topology) CPUsOfSocket(s int) []int {
+	if s < 0 || s >= t.sockets {
+		panic(fmt.Sprintf("topology: socket %d out of range [0,%d)", s, t.sockets))
+	}
+	cpus := make([]int, t.coresPerSocket)
+	for i := range cpus {
+		cpus[i] = s*t.coresPerSocket + i
+	}
+	return cpus
+}
+
+// Speed reports the speed class of cpu.
+func (t *Topology) Speed(cpu int) SpeedClass {
+	return t.speeds[mustCPU(t, cpu)]
+}
+
+// Distance reports the NUMA distance between the sockets of two CPUs.
+func (t *Topology) Distance(cpuA, cpuB int) int {
+	return t.distance[t.SocketOf(cpuA)][t.SocketOf(cpuB)]
+}
+
+// SameSocket reports whether two CPUs share a socket.
+func (t *Topology) SameSocket(cpuA, cpuB int) bool {
+	return t.SocketOf(cpuA) == t.SocketOf(cpuB)
+}
+
+// AutoPin assigns the next virtual CPU in round-robin order. Worker
+// goroutines call this once at startup; the assignment spreads load
+// across sockets the same way the paper's benchmarks spread threads
+// across the real machine.
+func (t *Topology) AutoPin() int {
+	return int(t.nextCPU.Add(1)-1) % t.NumCPUs()
+}
+
+// Pin records an explicit task→CPU pin, overriding AutoPin for PinOf.
+func (t *Topology) Pin(taskID, cpu int) {
+	mustCPU(t, cpu)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pins[taskID] = cpu
+}
+
+// Unpin removes an explicit pin.
+func (t *Topology) Unpin(taskID int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.pins, taskID)
+}
+
+// PinOf reports the explicitly pinned CPU for a task, if any.
+func (t *Topology) PinOf(taskID int) (cpu int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cpu, ok = t.pins[taskID]
+	return cpu, ok
+}
+
+func mustCPU(t *Topology, cpu int) int {
+	if cpu < 0 || cpu >= t.NumCPUs() {
+		panic(fmt.Sprintf("topology: cpu %d out of range [0,%d)", cpu, t.NumCPUs()))
+	}
+	return cpu
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShape(t *testing.T) {
+	topo := New(8, 10)
+	if topo.NumCPUs() != 80 || topo.NumSockets() != 8 || topo.CoresPerSocket() != 10 {
+		t.Fatalf("shape: %d/%d/%d", topo.NumCPUs(), topo.NumSockets(), topo.CoresPerSocket())
+	}
+	if Paper().NumCPUs() != 80 {
+		t.Error("Paper() is not the 80-core machine")
+	}
+}
+
+func TestSocketMapping(t *testing.T) {
+	topo := New(4, 5)
+	for cpu := 0; cpu < 20; cpu++ {
+		want := cpu / 5
+		if got := topo.SocketOf(cpu); got != want {
+			t.Errorf("SocketOf(%d) = %d, want %d", cpu, got, want)
+		}
+	}
+	cpus := topo.CPUsOfSocket(2)
+	if len(cpus) != 5 || cpus[0] != 10 || cpus[4] != 14 {
+		t.Errorf("CPUsOfSocket(2) = %v", cpus)
+	}
+}
+
+func TestSocketOfCPUsOfRoundTrip(t *testing.T) {
+	topo := New(8, 10)
+	f := func(s uint8) bool {
+		socket := int(s) % topo.NumSockets()
+		for _, cpu := range topo.CPUsOfSocket(socket) {
+			if topo.SocketOf(cpu) != socket {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	topo := New(4, 2)
+	if d := topo.Distance(0, 1); d != 10 {
+		t.Errorf("same-socket distance = %d, want 10", d)
+	}
+	if d := topo.Distance(0, 7); d != 20 {
+		t.Errorf("remote distance = %d, want 20", d)
+	}
+	custom := New(4, 2, WithDistance(0, 3, 32))
+	if d := custom.Distance(1, 7); d != 32 {
+		t.Errorf("custom distance = %d, want 32", d)
+	}
+	if d := custom.Distance(7, 1); d != 32 {
+		t.Errorf("asymmetric distance = %d", d)
+	}
+	if !topo.SameSocket(0, 1) || topo.SameSocket(0, 2) {
+		t.Error("SameSocket broken")
+	}
+}
+
+func TestAMPSpeeds(t *testing.T) {
+	bl := BigLittle(4, 4)
+	if bl.Speed(0) != SpeedBig {
+		t.Errorf("big core speed = %v", bl.Speed(0))
+	}
+	if bl.Speed(4) != SpeedLittle {
+		t.Errorf("little core speed = %v", bl.Speed(4))
+	}
+	custom := New(1, 4, WithAMP(func(cpu int) bool { return cpu >= 2 }, SpeedLittle))
+	if custom.Speed(1) != SpeedNormal || custom.Speed(3) != SpeedLittle {
+		t.Error("WithAMP mapping broken")
+	}
+}
+
+func TestAutoPinRoundRobin(t *testing.T) {
+	topo := New(2, 2)
+	seen := map[int]int{}
+	for i := 0; i < 8; i++ {
+		seen[topo.AutoPin()]++
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if seen[cpu] != 2 {
+			t.Errorf("cpu %d pinned %d times, want 2", cpu, seen[cpu])
+		}
+	}
+}
+
+func TestExplicitPins(t *testing.T) {
+	topo := New(2, 2)
+	if _, ok := topo.PinOf(7); ok {
+		t.Error("phantom pin")
+	}
+	topo.Pin(7, 3)
+	if cpu, ok := topo.PinOf(7); !ok || cpu != 3 {
+		t.Errorf("PinOf = %d,%v", cpu, ok)
+	}
+	topo.Unpin(7)
+	if _, ok := topo.PinOf(7); ok {
+		t.Error("pin survived Unpin")
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	topo := New(2, 2)
+	for _, fn := range []func(){
+		func() { New(0, 4) },
+		func() { New(4, -1) },
+		func() { topo.SocketOf(4) },
+		func() { topo.SocketOf(-1) },
+		func() { topo.CPUsOfSocket(2) },
+		func() { topo.Pin(1, 99) },
+		func() { topo.Speed(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

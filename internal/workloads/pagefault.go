@@ -1,0 +1,219 @@
+package workloads
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"concord/internal/locks"
+	"concord/internal/task"
+	"concord/internal/topology"
+)
+
+// PageSize is the simulated page size.
+const PageSize = 4096
+
+// VMA is one virtual memory area of the mini address space.
+type VMA struct {
+	Start, End uint64 // [Start, End), page aligned
+}
+
+// MM is a miniature memory-management subsystem: an address space whose
+// VMA list is protected by an mmap_sem readers-writer lock, with page
+// faults taking it shared and mmap/munmap taking it exclusive — the
+// locking structure behind will-it-scale's page_fault2 (Figure 2(a))
+// and the §3.1.1 page-faulting lock-switching use case.
+type MM struct {
+	sem  locks.RWLock
+	vmas []VMA // sorted by Start; guarded by sem
+
+	// pages tracks installed PTEs; sized at New time, entries written
+	// atomically under the read lock (faults on different pages are
+	// independent, as in a real mm).
+	pages []atomic.Uint32
+
+	faults      atomic.Int64
+	mapOps      atomic.Int64
+	faultErrors atomic.Int64
+}
+
+// NewMM builds an address space of totalPages pages guarded by sem.
+func NewMM(sem locks.RWLock, totalPages int) *MM {
+	return &MM{sem: sem, pages: make([]atomic.Uint32, totalPages)}
+}
+
+// Sem exposes the mmap_sem (so experiments can patch or profile it).
+func (m *MM) Sem() locks.RWLock { return m.sem }
+
+// Faults reports the number of successful page faults.
+func (m *MM) Faults() int64 { return m.faults.Load() }
+
+// findVMA returns the VMA containing addr; caller holds sem.
+func (m *MM) findVMA(addr uint64) *VMA {
+	i := sort.Search(len(m.vmas), func(i int) bool { return m.vmas[i].End > addr })
+	if i < len(m.vmas) && m.vmas[i].Start <= addr {
+		return &m.vmas[i]
+	}
+	return nil
+}
+
+// Mmap maps [start, start+pages*PageSize) — the writer path.
+func (m *MM) Mmap(t *task.T, start uint64, pages int) bool {
+	end := start + uint64(pages)*PageSize
+	m.sem.Lock(t)
+	defer m.sem.Unlock(t)
+	// Reject overlap.
+	for i := range m.vmas {
+		if m.vmas[i].Start < end && start < m.vmas[i].End {
+			return false
+		}
+	}
+	m.vmas = append(m.vmas, VMA{Start: start, End: end})
+	sort.Slice(m.vmas, func(i, j int) bool { return m.vmas[i].Start < m.vmas[j].Start })
+	m.mapOps.Add(1)
+	return true
+}
+
+// Munmap removes the mapping that starts at start.
+func (m *MM) Munmap(t *task.T, start uint64) bool {
+	m.sem.Lock(t)
+	defer m.sem.Unlock(t)
+	for i := range m.vmas {
+		if m.vmas[i].Start == start {
+			m.vmas = append(m.vmas[:i], m.vmas[i+1:]...)
+			m.mapOps.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// PageFault handles a fault at addr: mmap_sem shared, VMA walk, PTE
+// install. Returns false for an unmapped address (SIGSEGV).
+func (m *MM) PageFault(t *task.T, addr uint64) bool {
+	m.sem.RLock(t)
+	vma := m.findVMA(addr)
+	if vma == nil {
+		m.sem.RUnlock(t)
+		m.faultErrors.Add(1)
+		return false
+	}
+	page := addr / PageSize
+	if int(page) < len(m.pages) {
+		m.pages[page].Add(1) // install/refresh the PTE
+	}
+	m.sem.RUnlock(t)
+	m.faults.Add(1)
+	return true
+}
+
+// PageFault2Config parameterizes RunPageFault2.
+type PageFault2Config struct {
+	Workers         int
+	FaultsPerWorker int
+	PagesPerWorker  int
+	// WriterEvery injects one mmap/munmap per this many faults per
+	// worker (0 = read-only, the page_fault2 default).
+	WriterEvery int
+}
+
+// RunPageFault2 is the will-it-scale page_fault2 port: every worker
+// faults over its own window of a shared mapping, all serializing on
+// mmap_sem's read side (Figure 2(a), Table F2a).
+func RunPageFault2(sem locks.RWLock, topo *topology.Topology, cfg PageFault2Config) Result {
+	if cfg.PagesPerWorker == 0 {
+		cfg.PagesPerWorker = 128
+	}
+	totalPages := cfg.Workers * cfg.PagesPerWorker
+	m := NewMM(sem, totalPages+cfg.Workers*2)
+
+	// One big shared mapping, like page_fault2's single mmap region.
+	init := task.New(topo)
+	if !m.Mmap(init, 0, totalPages) {
+		panic("workloads: initial mmap failed")
+	}
+
+	res := Result{PerTask: make([]int64, cfg.Workers)}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := task.New(topo)
+			base := uint64(w*cfg.PagesPerWorker) * PageSize
+			for i := 0; i < cfg.FaultsPerWorker; i++ {
+				addr := base + uint64(i%cfg.PagesPerWorker)*PageSize
+				if m.PageFault(tk, addr) {
+					res.PerTask[w]++
+				}
+				if cfg.WriterEvery > 0 && i%cfg.WriterEvery == cfg.WriterEvery-1 {
+					extra := uint64(totalPages+w*2) * PageSize
+					m.Mmap(tk, extra, 1)
+					m.Munmap(tk, extra)
+				}
+				if i&63 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	for _, v := range res.PerTask {
+		res.Ops += v
+	}
+	return res
+}
+
+// Lock2Config parameterizes RunLock2.
+type Lock2Config struct {
+	Workers      int
+	OpsPerWorker int
+	CSWork       int // spins of trivial work inside the critical section
+	OutsideWork  int // spins outside
+}
+
+// RunLock2 is the will-it-scale lock2 port: a tight acquire/release loop
+// on one global lock, the write-side stress of Figure 2(b) (Table F2b).
+func RunLock2(lock locks.Lock, topo *topology.Topology, cfg Lock2Config) Result {
+	res := Result{PerTask: make([]int64, cfg.Workers)}
+	var shared int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := task.New(topo)
+			var sink int64
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				lock.Lock(tk)
+				shared++
+				for s := 0; s < cfg.CSWork; s++ {
+					sink += int64(s)
+				}
+				lock.Unlock(tk)
+				for s := 0; s < cfg.OutsideWork; s++ {
+					sink -= int64(s)
+				}
+				res.PerTask[w]++
+				if i&31 == 0 {
+					runtime.Gosched()
+				}
+			}
+			_ = sink
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	for _, v := range res.PerTask {
+		res.Ops += v
+	}
+	if shared != int64(cfg.Workers*cfg.OpsPerWorker) {
+		panic("workloads: lock2 lost updates — mutual exclusion broken")
+	}
+	return res
+}

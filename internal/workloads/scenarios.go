@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"concord/internal/locks"
+	"concord/internal/task"
+	"concord/internal/topology"
+)
+
+// InheritConfig parameterizes RunLockInheritance.
+type InheritConfig struct {
+	ChainWorkers  int // acquire L1 then L2 (rename-style operation)
+	L2Workers     int // crowd L2's queue
+	VictimWorkers int // need only L1, suffer when chain holders stall on L2
+	Duration      time.Duration
+}
+
+// InheritResult separates the per-class outcomes.
+type InheritResult struct {
+	ChainOps, L2Ops, VictimOps int64
+}
+
+// RunLockInheritance reproduces the multi-lock pathology of §3.1.1
+// ("Lock inheritance"): chain workers hold L1 while queueing for a
+// crowded L2, stalling victims that only need L1. An inheritance policy
+// on L2 (prioritizing waiters that already hold locks) shortens the
+// L1 hold time and revives the victims.
+func RunLockInheritance(l1, l2 locks.Lock, topo *topology.Topology, cfg InheritConfig) InheritResult {
+	var res InheritResult
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(cfg.Duration)
+
+	runClass := func(n int, count *int64, body func(tk *task.T)) {
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tk := task.New(topo)
+				var ops int64
+				for time.Now().Before(deadline) {
+					body(tk)
+					ops++
+					runtime.Gosched()
+				}
+				mu.Lock()
+				*count += ops
+				mu.Unlock()
+			}(w)
+		}
+	}
+	runClass(cfg.ChainWorkers, &res.ChainOps, func(tk *task.T) {
+		l1.Lock(tk)
+		l2.Lock(tk)
+		spinWork(64)
+		l2.Unlock(tk)
+		l1.Unlock(tk)
+	})
+	runClass(cfg.L2Workers, &res.L2Ops, func(tk *task.T) {
+		l2.Lock(tk)
+		spinWork(64)
+		l2.Unlock(tk)
+	})
+	runClass(cfg.VictimWorkers, &res.VictimOps, func(tk *task.T) {
+		l1.Lock(tk)
+		spinWork(16)
+		l1.Unlock(tk)
+	})
+	wg.Wait()
+	return res
+}
+
+// SubversionConfig parameterizes RunSchedulerSubversion.
+type SubversionConfig struct {
+	Hogs     int // long critical sections
+	Mice     int // short critical sections
+	HogWork  int
+	MiceWork int
+	Duration time.Duration
+}
+
+// SubversionResult separates hog and mouse progress.
+type SubversionResult struct {
+	HogOps, MiceOps int64
+	// HogCSNS / MiceCSNS are total critical-section time per class.
+	HogCSNS, MiceCSNS int64
+}
+
+// RunSchedulerSubversion reproduces the scheduler-subversion workload of
+// §3.1.2 (after Patel et al.): tasks with 10×+ critical sections
+// dominate lock occupancy under FIFO; an SCL-style occupancy policy
+// restores short tasks' progress.
+func RunSchedulerSubversion(lock locks.Lock, topo *topology.Topology, cfg SubversionConfig) SubversionResult {
+	var res SubversionResult
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(cfg.Duration)
+
+	runClass := func(n, work int, ops, cs *int64) {
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tk := task.New(topo)
+				var myOps, myCS int64
+				for time.Now().Before(deadline) {
+					lock.Lock(tk)
+					t0 := time.Now()
+					spinWork(work)
+					myCS += time.Since(t0).Nanoseconds()
+					lock.Unlock(tk)
+					myOps++
+					runtime.Gosched()
+				}
+				mu.Lock()
+				*ops += myOps
+				*cs += myCS
+				mu.Unlock()
+			}()
+		}
+	}
+	runClass(cfg.Hogs, cfg.HogWork, &res.HogOps, &res.HogCSNS)
+	runClass(cfg.Mice, cfg.MiceWork, &res.MiceOps, &res.MiceCSNS)
+	wg.Wait()
+	return res
+}
+
+// spinWork burns a deterministic amount of CPU.
+func spinWork(n int) int64 {
+	var sink int64
+	for i := 0; i < n; i++ {
+		sink += int64(i ^ (i << 3))
+	}
+	return sink
+}
+
+// RenameConfig parameterizes RunRenameChain.
+type RenameConfig struct {
+	// ChainLen is how many locks a rename-style operation acquires in
+	// order (the paper: "a process in Linux can acquire up to 12 locks
+	// (e.g., rename operation)").
+	ChainLen int
+	// Renamers run the full chain; PointWorkers hammer one lock each.
+	Renamers     int
+	PointWorkers int // spread round-robin across the chain's locks
+	Duration     time.Duration
+}
+
+// RenameResult reports per-class progress and rename latency.
+type RenameResult struct {
+	RenameOps    int64
+	PointOps     int64
+	RenameWaitNS int64 // cumulative time spent blocked across all chain hops
+}
+
+// MeanRenameWait returns the mean blocked time per rename operation.
+func (r RenameResult) MeanRenameWait() time.Duration {
+	if r.RenameOps == 0 {
+		return 0
+	}
+	return time.Duration(r.RenameWaitNS / r.RenameOps)
+}
+
+// RunRenameChain reproduces the deep-chain pathology of §3.1.1: renamers
+// acquire ChainLen locks in order while point workers crowd each lock's
+// queue. With FIFO queues a renamer holding i locks still waits at the
+// back of lock i+1's queue; the inheritance policy (attached by the
+// caller to the chain's locks) moves it forward, shortening the window
+// in which it holds everyone else back.
+func RunRenameChain(chain []locks.Lock, topo *topology.Topology, cfg RenameConfig) RenameResult {
+	if cfg.ChainLen <= 0 || cfg.ChainLen > len(chain) {
+		cfg.ChainLen = len(chain)
+	}
+	var res RenameResult
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(cfg.Duration)
+
+	for w := 0; w < cfg.Renamers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			var ops, wait int64
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				for i := 0; i < cfg.ChainLen; i++ {
+					chain[i].Lock(tk)
+				}
+				wait += time.Since(t0).Nanoseconds()
+				spinWork(32) // the rename itself
+				for i := cfg.ChainLen - 1; i >= 0; i-- {
+					chain[i].Unlock(tk)
+				}
+				ops++
+				runtime.Gosched()
+			}
+			mu.Lock()
+			res.RenameOps += ops
+			res.RenameWaitNS += wait
+			mu.Unlock()
+		}()
+	}
+	for w := 0; w < cfg.PointWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tk := task.New(topo)
+			l := chain[w%cfg.ChainLen]
+			var ops int64
+			for time.Now().Before(deadline) {
+				l.Lock(tk)
+				spinWork(16)
+				runtime.Gosched() // let queues form on small hosts
+				l.Unlock(tk)
+				ops++
+			}
+			mu.Lock()
+			res.PointOps += ops
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return res
+}
