@@ -519,3 +519,28 @@ func BenchmarkRenameChain(b *testing.B) {
 	b.Run("fifo", func(b *testing.B) { run(b, false) })
 	b.Run("inheritance", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkTelemetryOverhead measures the cost of the full telemetry
+// layer (per-lock counters + wait/hold histograms + trace ring, all
+// updated on every acquisition) against the same hash-table workload on
+// a bare framework. The acceptance bar is <= 20% throughput loss.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	topo := topology.Paper()
+	run := func(b *testing.B, opts ...concord.Option) {
+		var tput float64
+		for i := 0; i < b.N; i++ {
+			fw := concord.New(topo, opts...)
+			l := locks.NewShflLock("ht")
+			if err := fw.RegisterLock(l); err != nil {
+				b.Fatal(err)
+			}
+			res := workloads.RunHashTable(l, topo, workloads.HashTableConfig{
+				Workers: 4, OpsPerWorker: 3000, ReadFraction: 0.8,
+			})
+			tput = res.OpsPerMSec()
+		}
+		b.ReportMetric(tput, "ops/ms")
+	}
+	b.Run("bare", func(b *testing.B) { run(b) })
+	b.Run("telemetry", func(b *testing.B) { run(b, concord.WithTelemetry()) })
+}

@@ -10,6 +10,8 @@
 //	concordctl verify prog.json
 //	concordctl disasm prog.json
 //	concordctl demo   [-policy numa|inheritance|scl] [-workers N] [-ops N]
+//	concordctl serve  [-addr host:port] [-policy P] [-duration 30s]
+//	concordctl top    [-addr host:port | -policy P] [-n N] [-interval 1s]
 //	concordctl kinds
 //
 // Map specs have the form name:type:keysize:valuesize:maxentries, e.g.
@@ -46,6 +48,10 @@ func main() {
 		err = cmdDisasm(os.Args[2:])
 	case "demo":
 		err = cmdDemo(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:], os.Stdout)
+	case "top":
+		err = cmdTop(os.Args[2:], os.Stdout)
 	case "kinds":
 		err = cmdKinds()
 	case "-h", "--help", "help":
@@ -74,6 +80,12 @@ commands:
   disasm prog.json     print a stored program as assembly
   demo   [-policy P] [-workers N] [-ops N]
          attach a policy to a live lock in-process and profile it
+  serve  [-addr A] [-policy P] [-workers N] [-ops N] [-duration D]
+         run a telemetry-instrumented workload and serve /metrics,
+         /locks, /policies, /trace and /debug/pprof over HTTP
+  top    [-addr A | -policy P] [-n N] [-interval D]
+         print a lockstat-style table, most wait time first; -addr
+         scrapes a running serve, otherwise drives load in-process
   kinds  list program kinds (the Table 1 hook points)
 `)
 }
@@ -245,38 +257,8 @@ func cmdDemo(args []string) error {
 		return err
 	}
 
-	switch *policyName {
-	case "numa":
-		// The real thing: assemble, verify, attach cBPF.
-		prog := concord.MustAssemble("numa", concord.KindCmpNode, `
-			mov   r6, r1
-			ldxdw r2, [r6+curr_socket]
-			ldxdw r3, [r6+shuffler_socket]
-			jeq   r2, r3, group
-			mov   r0, 0
-			exit
-		group:
-			mov   r0, 1
-			exit
-		`, nil)
-		if _, err := fw.LoadPolicy("numa", prog); err != nil {
-			return err
-		}
-	case "inheritance":
-		if _, err := fw.LoadNative("inheritance", concord.InheritanceHooks()); err != nil {
-			return err
-		}
-		*policyName = "inheritance"
-	case "scl":
-		if _, err := fw.LoadNative("scl", concord.SCLHooks()); err != nil {
-			return err
-		}
-	case "fifo":
-		if _, err := fw.LoadNative("fifo", concord.FIFOHooks()); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown demo policy %q", *policyName)
+	if err := loadDemoPolicy(fw, *policyName); err != nil {
+		return err
 	}
 
 	att, err := fw.Attach("demo_lock", *policyName)

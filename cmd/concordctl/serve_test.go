@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"concord"
+)
+
+func TestServeRunsAndReportsStats(t *testing.T) {
+	var sb strings.Builder
+	err := cmdServe([]string{
+		"-addr", "127.0.0.1:0",
+		"-duration", "50ms",
+		"-workers", "2", "-ops", "50",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("serve: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"serving telemetry on http://127.0.0.1:",
+		"/metrics",
+		"final lock stats:",
+		"demo_lock",
+		"numa", // default policy shown in the table
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopInProcess(t *testing.T) {
+	var sb strings.Builder
+	err := cmdTop([]string{
+		"-n", "2", "-interval", "1ms",
+		"-workers", "2", "-ops", "50",
+		"-policy", "fifo",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("top: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "LOCK") || !strings.Contains(out, "WAIT-P99") {
+		t.Errorf("top output missing header:\n%s", out)
+	}
+	if got := strings.Count(out, "demo_lock"); got != 2 {
+		t.Errorf("top printed %d rows for demo_lock, want 2 (one per iteration):\n%s", got, out)
+	}
+}
+
+func TestTopScrapeMode(t *testing.T) {
+	// Start a real serve session + server, then point `top -addr` at it.
+	sess, err := startServeSession("scl", 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := concord.NewTelemetryServer(sess.fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sess.runWorkload()
+
+	var sb strings.Builder
+	if err := cmdTop([]string{"-addr", srv.Addr(), "-n", "1"}, &sb); err != nil {
+		t.Fatalf("top -addr: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "demo_lock") || !strings.Contains(out, "scl") {
+		t.Errorf("scraped table missing lock row:\n%s", out)
+	}
+}
+
+func TestTopScrapeBadAddr(t *testing.T) {
+	var sb strings.Builder
+	if err := cmdTop([]string{"-addr", "127.0.0.1:1", "-n", "1"}, &sb); err == nil {
+		t.Error("top against a dead address should fail")
+	}
+}
+
+func TestServeTopFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func([]string, *strings.Builder) error
+		args []string
+	}{
+		{"serve bad flag", func(a []string, sb *strings.Builder) error { return cmdServe(a, sb) }, []string{"-nope"}},
+		{"serve extra args", func(a []string, sb *strings.Builder) error { return cmdServe(a, sb) }, []string{"-duration", "1ms", "extra"}},
+		{"serve bad policy", func(a []string, sb *strings.Builder) error { return cmdServe(a, sb) }, []string{"-addr", "127.0.0.1:0", "-policy", "bogus", "-duration", "1ms"}},
+		{"top bad flag", func(a []string, sb *strings.Builder) error { return cmdTop(a, sb) }, []string{"-nope"}},
+		{"top extra args", func(a []string, sb *strings.Builder) error { return cmdTop(a, sb) }, []string{"-n", "1", "extra"}},
+		{"top bad policy", func(a []string, sb *strings.Builder) error { return cmdTop(a, sb) }, []string{"-n", "1", "-policy", "bogus"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := tc.run(tc.args, &sb); err == nil {
+				t.Errorf("%s: expected error", tc.name)
+			}
+		})
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0s"},
+		{1500, "1.5µs"},
+		{2_000_000, "2ms"},
+		{1_234_567_890, "1.2345679s"},
+	}
+	for _, tc := range cases {
+		if got := fmtDur(tc.ns); got != tc.want {
+			t.Errorf("fmtDur(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}

@@ -5,6 +5,10 @@
 //
 //	lockbench -experiment f2a|f2b|f2c|f2c-real|a3|all
 //	          [-threads 1,2,4,...] [-format table|csv] [-out file]
+//	          [-json dir]
+//
+// -json additionally writes one BENCH_<experiment>.json per experiment
+// (machine-readable points: series, threads, value) into dir.
 //
 // f2a, f2b and f2c run on the simulated 8-socket/80-CPU machine (shape
 // reproduction); f2c-real measures the real lock implementations on the
@@ -27,6 +31,7 @@ func main() {
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: paper sweep)")
 	format := flag.String("format", "table", "table | csv")
 	out := flag.String("out", "", "output file (default stdout)")
+	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json files into this directory")
 	ops := flag.Int("ops", 2000, "ops per worker for f2c-real")
 	flag.Parse()
 
@@ -93,5 +98,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockbench:", err)
 		os.Exit(1)
+	}
+	if *jsonDir != "" {
+		paths, err := experiments.WriteBenchJSON(*jsonDir, pts)
+		for _, p := range paths {
+			fmt.Fprintln(os.Stderr, "wrote", p)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -67,8 +67,18 @@ type Policy = core.Policy
 // Attachment records a policy installed on a lock.
 type Attachment = core.Attachment
 
-// New creates a Framework over a machine topology.
-func New(topo *Topology) *Framework { return core.New(topo) }
+// Option configures a Framework at construction time.
+type Option func(*Framework)
+
+// New creates a Framework over a machine topology. Options extend it;
+// see WithTelemetry.
+func New(topo *Topology, opts ...Option) *Framework {
+	f := core.New(topo)
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
 
 // --- Tasks and topology ---
 

@@ -109,6 +109,7 @@ func (e *taskEnv) Trace(uint64) {}
 type adapter struct {
 	policyName string
 	faultFn    func(err error) // invoked once on the first policy fault
+	countFault func()          // telemetry hook, invoked on every fault
 
 	faults    atomic.Int64
 	faultOnce sync.Once
@@ -142,6 +143,9 @@ func (a *adapter) Err() error {
 
 func (a *adapter) fault(err error) {
 	a.faults.Add(1)
+	if a.countFault != nil {
+		a.countFault()
+	}
 	a.lastErr.CompareAndSwap(nil, &err)
 	a.faultOnce.Do(func() {
 		if a.faultFn != nil {

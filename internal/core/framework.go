@@ -25,6 +25,7 @@ import (
 
 	"concord/internal/livepatch"
 	"concord/internal/locks"
+	"concord/internal/obs"
 	"concord/internal/policy"
 	"concord/internal/profile"
 	"concord/internal/topology"
@@ -130,6 +131,7 @@ type Framework struct {
 	locks    map[string]*lockState
 	policies map[string]*Policy
 	shadow   *livepatch.ShadowStore
+	tel      *obs.Telemetry
 }
 
 // New returns an empty framework for the given topology.
@@ -160,7 +162,14 @@ func (f *Framework) RegisterLock(l locks.Lock) error {
 	if _, dup := f.locks[l.Name()]; dup {
 		return fmt.Errorf("%w: %s", ErrLockExists, l.Name())
 	}
-	f.locks[l.Name()] = &lockState{lock: l, hooked: h}
+	st := &lockState{lock: l, hooked: h}
+	f.locks[l.Name()] = st
+	if f.tel != nil {
+		f.tel.LocksRegistered.Set(int64(len(f.locks)))
+		// Instrument immediately so a lock is observable before any
+		// policy or profiler touches it.
+		h.HookSlot().Replace("telemetry:"+l.Name(), f.effectiveHooks(st, nil, nil))
+	}
 	return nil
 }
 
@@ -235,6 +244,10 @@ func (f *Framework) addPolicy(p *Policy) error {
 		return fmt.Errorf("%w: %s", ErrPolicyExists, p.Name)
 	}
 	f.policies[p.Name] = p
+	if f.tel != nil {
+		f.tel.PolicyLoads.Inc()
+		f.tel.PoliciesLoaded.Set(int64(len(f.policies)))
+	}
 	return nil
 }
 
@@ -316,13 +329,32 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 
 	ad := &adapter{policyName: policyName}
 	slot := st.hooked.HookSlot()
-	ad.faultFn = func(err error) {
-		// Runtime safety valve: first fault detaches the policy.
-		slot.Replace("fault-detach:"+policyName, nil)
+	if f.tel != nil {
+		faults := f.tel.PolicyFaults
+		ad.countFault = faults.Inc
 	}
 	att := &Attachment{Lock: lockName, Policy: policyName, adapter: ad}
+	ad.faultFn = func(err error) {
+		// Runtime safety valve: first fault detaches the policy. The
+		// fallback table keeps the profiler and telemetry hooks — only
+		// the faulting policy is dropped.
+		f.mu.Lock()
+		if st.attached == att {
+			st.attached = nil
+		}
+		fallback := f.effectiveHooks(st, nil, nil)
+		tel := f.tel
+		f.mu.Unlock()
+		if tel != nil {
+			tel.SafetyFallbacks.Inc()
+		}
+		slot.Replace("fault-detach:"+policyName, fallback)
+	}
 	st.attached = att
 	hooks := f.effectiveHooks(st, p, ad)
+	if f.tel != nil {
+		f.tel.Attaches.Inc()
+	}
 	f.mu.Unlock()
 
 	if r, ok := st.hooked.(interface{ ResetSafety() }); ok {
@@ -347,6 +379,9 @@ func (f *Framework) Detach(lockName string) (*livepatch.Patch, error) {
 	}
 	st.attached = nil
 	hooks := f.effectiveHooks(st, nil, nil)
+	if f.tel != nil {
+		f.tel.Detaches.Inc()
+	}
 	f.mu.Unlock()
 	return st.hooked.HookSlot().Replace("detach", hooks), nil
 }
@@ -472,6 +507,12 @@ func (f *Framework) effectiveHooks(st *lockState, p *Policy, ad *adapter) *locks
 	}
 	if st.profiler != nil {
 		hooks = locks.ComposeHooks(hooks, st.profiler.Hooks(st.lock.Name()))
+	}
+	// Telemetry composes last: its hooks are profiling-only, so user
+	// policies keep every behavioural decision while instrumentation
+	// stacks underneath them.
+	if f.tel != nil {
+		hooks = locks.ComposeHooks(hooks, f.tel.LockHooks(st.lock.Name()))
 	}
 	return hooks
 }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sort"
+
+	"concord/internal/livepatch"
+	"concord/internal/locks"
+	"concord/internal/obs"
+)
+
+// EnableTelemetry attaches a telemetry bundle to the framework. Every
+// registered lock (current and future) gets counting and wait/hold
+// histogram hooks composed after its policy and profiler; framework
+// lifecycle events (loads, attaches, faults, safety trips), livepatch
+// transitions and drain latencies, and per-program policy VM counters
+// are recorded into t's registry.
+//
+// The livepatch and lock-safety observers are process-global (those
+// packages sit below obs in the import graph), so enabling telemetry on
+// two frameworks at once routes patch and safety events to the most
+// recently enabled one; each framework's own lock and lifecycle metrics
+// stay separate. Call with nil to detach the observers.
+func (f *Framework) EnableTelemetry(t *obs.Telemetry) {
+	f.mu.Lock()
+	f.tel = t
+	if t == nil {
+		f.mu.Unlock()
+		livepatch.SetPatchObserver(nil)
+		livepatch.SetDrainObserver(nil)
+		locks.SetSafetyObserver(nil)
+		return
+	}
+	t.LocksRegistered.Set(int64(len(f.locks)))
+	t.PoliciesLoaded.Set(int64(len(f.policies)))
+
+	// Re-publish every lock's hook table so telemetry composes in.
+	type repatch struct {
+		st    *lockState
+		hooks *locks.Hooks
+	}
+	var patches []repatch
+	for _, st := range f.locks {
+		var p *Policy
+		var ad *adapter
+		if st.attached != nil {
+			p = f.policies[st.attached.Policy]
+			ad = st.attached.adapter
+			ad.countFault = t.PolicyFaults.Inc
+		}
+		patches = append(patches, repatch{st, f.effectiveHooks(st, p, ad)})
+	}
+	f.mu.Unlock()
+
+	for _, r := range patches {
+		r.st.hooked.HookSlot().Replace("telemetry:"+r.st.lock.Name(), r.hooks)
+	}
+
+	transitions := t.PatchTransitions
+	livepatch.SetPatchObserver(func(string) { transitions.Inc() })
+	drain := t.DrainLatency
+	livepatch.SetDrainObserver(func(_ string, drainNS int64) { drain.Observe(drainNS) })
+	trips := t.SafetyTrips
+	locks.SetSafetyObserver(func(_, _ string) { trips.Inc() })
+
+	t.Registry.AddExternal(f.collectVMStats)
+}
+
+// Telemetry returns the bundle passed to EnableTelemetry, or nil.
+func (f *Framework) Telemetry() *obs.Telemetry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tel
+}
+
+// collectVMStats emits the policy VM execution counters of every loaded
+// program, labeled by policy, hook kind, and program name. Registered as
+// an external collector: programs keep their own atomics (ExecStats) and
+// the registry reads them only at scrape time.
+func (f *Framework) collectVMStats(add func(obs.Sample)) {
+	f.mu.Lock()
+	pols := make([]*Policy, 0, len(f.policies))
+	for _, p := range f.policies {
+		pols = append(pols, p)
+	}
+	f.mu.Unlock()
+
+	counter := func(name string, labels []string, v int64) {
+		add(obs.Sample{Name: name, Kind: obs.KindCounter, Labels: labels, Value: float64(v)})
+	}
+	for _, p := range pols {
+		for kind, prog := range p.Programs {
+			st := prog.Stats()
+			labels := []string{"policy", p.Name, "kind", kind.String(), "program", prog.Name}
+			counter("concord_vm_runs_total", labels, st.Runs.Load())
+			counter("concord_vm_instructions_total", labels, st.Insns.Load())
+			counter("concord_vm_helper_calls_total", labels, st.HelperCalls.Load())
+			counter("concord_vm_map_ops_total", labels, st.MapOps.Load())
+			counter("concord_vm_faults_total", labels, st.Faults.Load())
+		}
+	}
+}
+
+// LockRows returns per-lock telemetry rows (most wait time first), with
+// each row's Policy filled from the current attachment. Requires
+// EnableTelemetry; returns nil otherwise.
+func (f *Framework) LockRows() []obs.LockRow {
+	f.mu.Lock()
+	tel := f.tel
+	attached := make(map[string]string, len(f.locks))
+	for name, st := range f.locks {
+		if st.attached != nil {
+			attached[name] = st.attached.Policy
+		}
+	}
+	f.mu.Unlock()
+	if tel == nil {
+		return nil
+	}
+	rows := tel.LockRows()
+	for i := range rows {
+		rows[i].Policy = attached[rows[i].Lock]
+	}
+	return rows
+}
+
+// PolicyRow is one loaded policy's summary for the /policies endpoint.
+type PolicyRow struct {
+	Name        string   `json:"name"`
+	Kinds       []string `json:"kinds"`
+	Native      bool     `json:"native,omitempty"`
+	AttachedTo  []string `json:"attached_to,omitempty"`
+	Runs        int64    `json:"vm_runs"`
+	Insns       int64    `json:"vm_instructions"`
+	HelperCalls int64    `json:"vm_helper_calls"`
+	MapOps      int64    `json:"vm_map_ops"`
+	Faults      int64    `json:"vm_faults"`
+}
+
+// PolicyRows summarizes every loaded policy: hook kinds, attachment
+// targets, and VM counters aggregated across the policy's programs.
+func (f *Framework) PolicyRows() []PolicyRow {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rows := make([]PolicyRow, 0, len(f.policies))
+	for name, p := range f.policies {
+		row := PolicyRow{Name: name, Native: p.Native != nil}
+		for _, k := range p.Kinds() {
+			row.Kinds = append(row.Kinds, k.String())
+		}
+		sort.Strings(row.Kinds)
+		for lockName, st := range f.locks {
+			if st.attached != nil && st.attached.Policy == name {
+				row.AttachedTo = append(row.AttachedTo, lockName)
+			}
+		}
+		sort.Strings(row.AttachedTo)
+		for _, prog := range p.Programs {
+			st := prog.Stats()
+			row.Runs += st.Runs.Load()
+			row.Insns += st.Insns.Load()
+			row.HelperCalls += st.HelperCalls.Load()
+			row.MapOps += st.MapOps.Load()
+			row.Faults += st.Faults.Load()
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// LockNameByID resolves a registered lock's ID to its name ("" when
+// unknown); the trace exporter uses it to label tracks.
+func (f *Framework) LockNameByID(id uint64) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for name, st := range f.locks {
+		if st.lock.ID() == id {
+			return name
+		}
+	}
+	return ""
+}

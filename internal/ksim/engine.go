@@ -23,6 +23,7 @@ package ksim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 
 	"concord/internal/topology"
 )
@@ -52,11 +53,15 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 // nanosecond clock. It is deterministic: same schedule, same seed, same
 // results.
 type Engine struct {
-	topo *topology.Topology
-	now  int64
-	seq  int64
-	pq   eventHeap
-	rng  uint64
+	topo      *topology.Topology
+	now       int64
+	seq       int64
+	pq        eventHeap
+	rng       uint64
+	processed int64
+
+	trace    []SimSlice
+	traceCap int
 }
 
 // NewEngine returns an engine over the given topology with an RNG seed.
@@ -115,7 +120,44 @@ func (e *Engine) Run(until int64) int {
 	if e.now < until {
 		e.now = until
 	}
+	e.processed += int64(n)
 	return n
+}
+
+// EventsProcessed reports the total number of events run across every
+// Run call — the simulator's work counter for telemetry.
+func (e *Engine) EventsProcessed() int64 { return e.processed }
+
+// SimSlice is one traced interval of a simulated run: a wait for or a
+// hold of a lock by one proc, in virtual time. The obs package renders
+// slices into Perfetto timelines.
+type SimSlice struct {
+	Name    string
+	Proc    int
+	CPU     int
+	StartNS int64
+	DurNS   int64
+}
+
+// EnableTrace starts recording slices, keeping at most cap (0 means a
+// generous default). Tracing a deterministic run does not perturb it:
+// recording happens outside the virtual clock.
+func (e *Engine) EnableTrace(capacity int) {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	e.traceCap = capacity
+	e.trace = make([]SimSlice, 0, min(capacity, 4096))
+}
+
+// TraceSlices returns the recorded slices (nil when tracing is off).
+func (e *Engine) TraceSlices() []SimSlice { return e.trace }
+
+// addSlice records one interval if tracing is enabled and under cap.
+func (e *Engine) addSlice(s SimSlice) {
+	if e.traceCap > 0 && len(e.trace) < e.traceCap {
+		e.trace = append(e.trace, s)
+	}
 }
 
 // Pending reports the number of scheduled events.
@@ -178,6 +220,11 @@ type CostModel struct {
 	// PolicyExecNS is the cost of one interpreted cBPF policy run
 	// (cmp_node etc.); native pre-compiled policies cost ~0 extra.
 	PolicyExecNS int64
+
+	// Transfers, when non-nil, counts cross-CPU cacheline movements (the
+	// telemetry layer's view of simulated coherence traffic). The pointer
+	// survives the by-value copies lock models keep.
+	Transfers *atomic.Int64
 }
 
 // DefaultCosts returns the cost model used by the experiment harness.
@@ -197,6 +244,9 @@ func DefaultCosts() CostModel {
 func (c CostModel) Transfer(topo *topology.Topology, fromCPU, toCPU int) int64 {
 	if fromCPU == toCPU {
 		return c.AtomicNS
+	}
+	if c.Transfers != nil {
+		c.Transfers.Add(1)
 	}
 	d := topo.Distance(fromCPU, toCPU)
 	if d <= 10 {

@@ -16,7 +16,40 @@ package livepatch
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Instrumentation hooks. The telemetry layer (internal/obs, wired by
+// internal/core) observes patch activity through these; livepatch cannot
+// import obs directly because the lock hook tables it slots live below
+// it in the import graph. Both are process-global: last SetXxx wins, and
+// a nil fn disables the hook.
+var (
+	patchObserver atomic.Pointer[func(patchName string)]
+	drainObserver atomic.Pointer[func(patchName string, drainNS int64)]
+)
+
+// SetPatchObserver installs fn to be called on every Replace (one call
+// per hook-table transition, before any draining).
+func SetPatchObserver(fn func(patchName string)) {
+	if fn == nil {
+		patchObserver.Store(nil)
+		return
+	}
+	patchObserver.Store(&fn)
+}
+
+// SetDrainObserver installs fn to be called when a replaced version
+// fully drains, with the wall-clock latency from retirement to
+// quiescence — the livepatch consistency-point (epoch drain) latency.
+// The patch name is the one given to the Replace that retired it.
+func SetDrainObserver(fn func(patchName string, drainNS int64)) {
+	if fn == nil {
+		drainObserver.Store(nil)
+		return
+	}
+	drainObserver.Store(&fn)
+}
 
 // version wraps one published value with its drain bookkeeping.
 type version[T any] struct {
@@ -25,11 +58,25 @@ type version[T any] struct {
 	retired atomic.Bool
 	done    chan struct{}
 	once    sync.Once
+
+	// Drain bookkeeping, written (before retired is set) by the Replace
+	// that retires this version.
+	retiredBy string
+	retiredAt int64
+}
+
+func (v *version[T]) finish() {
+	v.once.Do(func() {
+		close(v.done)
+		if fn := drainObserver.Load(); fn != nil {
+			(*fn)(v.retiredBy, time.Now().UnixNano()-v.retiredAt)
+		}
+	})
 }
 
 func (v *version[T]) release() {
 	if v.refs.Add(-1) == 0 && v.retired.Load() {
-		v.once.Do(func() { close(v.done) })
+		v.finish()
 	}
 }
 
@@ -126,6 +173,9 @@ func (s *Slot[T]) Replace(name string, val *T) *Patch {
 }
 
 func (s *Slot[T]) replaceLocked(name string, val *T) *Patch {
+	if fn := patchObserver.Load(); fn != nil {
+		(*fn)(name)
+	}
 	next := &version[T]{val: val, done: make(chan struct{})}
 	old := s.cur.Swap(next)
 
@@ -133,9 +183,11 @@ func (s *Slot[T]) replaceLocked(name string, val *T) *Patch {
 	var oldVal *T
 	if old != nil {
 		oldVal = old.val
+		old.retiredBy = name
+		old.retiredAt = time.Now().UnixNano()
 		old.retired.Store(true)
 		if old.refs.Load() == 0 {
-			old.once.Do(func() { close(old.done) })
+			old.finish()
 		}
 		wait = func() { <-old.done }
 	}

@@ -83,7 +83,7 @@ func (b *BRAVO) RLock(t *task.T) {
 	start := b.now()
 	if h, release := b.getHooks(); h != nil {
 		if h.OnAcquire != nil {
-			h.OnAcquire(&Event{LockID: b.id, Task: t, NowNS: start, Reader: true})
+			emit(t, h.OnAcquire, Event{LockID: b.id, Task: t, NowNS: start, Reader: true})
 		}
 		release.Release()
 	} else {
@@ -140,7 +140,7 @@ func (b *BRAVO) finishRead(t *task.T, start int64) {
 	now := b.now()
 	if h, release := b.getHooks(); h != nil {
 		if h.OnAcquired != nil {
-			h.OnAcquired(&Event{
+			emit(t, h.OnAcquired, Event{
 				LockID: b.id, Task: t, NowNS: now, WaitNS: now - start, Reader: true,
 			})
 		}
@@ -162,7 +162,7 @@ func (b *BRAVO) RUnlock(t *task.T) {
 	t.NoteReleased(b.id)
 	if h, release := b.getHooks(); h != nil {
 		if h.OnRelease != nil {
-			h.OnRelease(&Event{LockID: b.id, Task: t, NowNS: b.now(), Reader: true})
+			emit(t, h.OnRelease, Event{LockID: b.id, Task: t, NowNS: b.now(), Reader: true})
 		}
 		release.Release()
 	} else {

@@ -113,7 +113,9 @@ const (
 )
 
 // Event describes one profiling hook invocation (Table 1's last four
-// APIs).
+// APIs). The pointer a hook receives is only valid for the duration of
+// the call: the emitting lock reuses a per-task scratch event, so hooks
+// must copy out any fields they keep.
 type Event struct {
 	LockID   uint64
 	Task     *task.T
@@ -150,6 +152,21 @@ type Hooks struct {
 	OnRelease   func(ev *Event)
 }
 
+// safetyObserver, when set, is notified every time a runtime safety
+// check quarantines a policy (disablePolicy). Installed by the telemetry
+// layer via SetSafetyObserver; process-global, last set wins.
+var safetyObserver atomic.Pointer[func(lockName, msg string)]
+
+// SetSafetyObserver installs fn to be called on every runtime
+// safety-check trip; nil disables the hook.
+func SetSafetyObserver(fn func(lockName, msg string)) {
+	if fn == nil {
+		safetyObserver.Store(nil)
+		return
+	}
+	safetyObserver.Store(&fn)
+}
+
 // lockIDs allocates process-unique lock identities.
 var lockIDs atomic.Uint64
 
@@ -159,6 +176,22 @@ func NextLockID() uint64 { return lockIDs.Add(1) - 1 }
 
 // nowNS is the default clock.
 func nowNS() int64 { return time.Now().UnixNano() }
+
+// emit invokes fn with a copy of ev drawn from the task's scratch slot.
+// Passing a pointer into an unknown hook function forces the event to
+// the heap; reusing one event per task caps that at one allocation per
+// task instead of one per lock operation. Safe because the Hooks
+// contract says events are call-scoped, and reentrancy-safe because
+// TakeScratch empties the slot while the hook runs.
+func emit(t *task.T, fn func(*Event), ev Event) {
+	p, _ := t.TakeScratch().(*Event)
+	if p == nil {
+		p = new(Event)
+	}
+	*p = ev
+	fn(p)
+	t.PutScratch(p)
+}
 
 // hookable is the embeddable base wiring a lock to its hook slot.
 type hookable struct {
@@ -211,6 +244,9 @@ func (h *hookable) SafetyError() string {
 func (h *hookable) disablePolicy(msg string) {
 	h.safetyErr.Store(&msg)
 	h.disabled.Store(true)
+	if fn := safetyObserver.Load(); fn != nil {
+		(*fn)(h.name, msg)
+	}
 }
 
 // ResetSafety re-enables hook dispatch after a safety trip (used when a

@@ -141,7 +141,7 @@ func (l *ShflLock) Lock(t *task.T) {
 	start := l.now()
 	if h, release := l.getHooks(); h != nil {
 		if h.OnAcquire != nil {
-			h.OnAcquire(&Event{LockID: l.id, Task: t, NowNS: start})
+			emit(t, h.OnAcquire, Event{LockID: l.id, Task: t, NowNS: start})
 		}
 		release.Release()
 	} else {
@@ -155,7 +155,7 @@ func (l *ShflLock) Lock(t *task.T) {
 	}
 	if h, release := l.getHooks(); h != nil {
 		if h.OnContended != nil {
-			h.OnContended(&Event{
+			emit(t, h.OnContended, Event{
 				LockID: l.id, Task: t, NowNS: l.now(),
 				QueueLen: int(l.qlen.Load()),
 			})
@@ -190,7 +190,7 @@ func (l *ShflLock) Unlock(t *task.T) {
 	t.NoteReleased(l.id)
 	if h, release := l.getHooks(); h != nil {
 		if h.OnRelease != nil {
-			h.OnRelease(&Event{
+			emit(t, h.OnRelease, Event{
 				LockID: l.id, Task: t, NowNS: now,
 				HoldNS: t.CSLast(), QueueLen: int(l.qlen.Load()),
 			})
@@ -207,7 +207,7 @@ func (l *ShflLock) finishAcquire(t *task.T, start int64) {
 	now := l.now()
 	if h, release := l.getHooks(); h != nil {
 		if h.OnAcquired != nil {
-			h.OnAcquired(&Event{
+			emit(t, h.OnAcquired, Event{
 				LockID: l.id, Task: t, NowNS: now,
 				WaitNS: now - start, QueueLen: int(l.qlen.Load()),
 			})

@@ -26,7 +26,7 @@ func (p *profBase) noteAcquire(t *task.T) int64 {
 	now := p.now()
 	if h, release := p.getHooks(); h != nil {
 		if h.OnAcquire != nil {
-			h.OnAcquire(&Event{LockID: p.id, Task: t, NowNS: now})
+			emit(t, h.OnAcquire, Event{LockID: p.id, Task: t, NowNS: now})
 		}
 		release.Release()
 	} else {
@@ -38,7 +38,7 @@ func (p *profBase) noteAcquire(t *task.T) int64 {
 func (p *profBase) noteContended(t *task.T, startNS int64) {
 	if h, release := p.getHooks(); h != nil {
 		if h.OnContended != nil {
-			h.OnContended(&Event{LockID: p.id, Task: t, NowNS: p.now()})
+			emit(t, h.OnContended, Event{LockID: p.id, Task: t, NowNS: p.now()})
 		}
 		release.Release()
 	} else {
@@ -51,7 +51,7 @@ func (p *profBase) noteAcquired(t *task.T, startNS int64, reader bool) {
 	now := p.now()
 	if h, release := p.getHooks(); h != nil {
 		if h.OnAcquired != nil {
-			h.OnAcquired(&Event{
+			emit(t, h.OnAcquired, Event{
 				LockID: p.id, Task: t, NowNS: now,
 				WaitNS: now - startNS, Reader: reader,
 			})
@@ -70,7 +70,7 @@ func (p *profBase) noteRelease(t *task.T, reader bool) {
 	t.NoteReleased(p.id)
 	if h, release := p.getHooks(); h != nil {
 		if h.OnRelease != nil {
-			h.OnRelease(&Event{
+			emit(t, h.OnRelease, Event{
 				LockID: p.id, Task: t, NowNS: now,
 				HoldNS: t.CSLast(), Reader: reader,
 			})

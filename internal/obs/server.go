@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the embeddable telemetry HTTP endpoint. A fresh server
+// exposes /metrics (Prometheus text, or JSON with ?format=json) and the
+// standard net/http/pprof handlers under /debug/pprof/; callers add
+// JSON and raw endpoints (/locks, /policies, /trace) with HandleJSON
+// and HandleRaw. The concord facade wires a fully populated server via
+// concord.NewTelemetryServer.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+
+	mu   sync.Mutex
+	ln   net.Listener
+	http *http.Server
+}
+
+// NewServer returns a server exposing reg.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Registry returns the registry the server exposes.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// HandleJSON serves fn's result as JSON at path.
+func (s *Server) HandleJSON(path string, fn func() (any, error)) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		v, err := fn()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+}
+
+// HandleRaw serves fn's bytes at path with the given content type.
+func (s *Server) HandleRaw(path, contentType string, fn func() ([]byte, error)) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		data, err := fn()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		_, _ = w.Write(data)
+	})
+}
+
+// Handler returns the server's mux, for embedding into an existing
+// http.Server instead of Start.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free port) and
+// serves in a background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("obs: server already started on %s", s.ln.Addr())
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := s.http
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound address after Start ("" before).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops a started server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.http
+	s.ln, s.http = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

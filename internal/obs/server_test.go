@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "help").Add(5)
+
+	s := NewServer(reg)
+	s.HandleJSON("/locks", func() (any, error) {
+		return []LockRow{{Lock: "l1", Acquisitions: 2}}, nil
+	})
+	s.HandleRaw("/trace", "application/json", func() ([]byte, error) {
+		return []byte(`{"traceEvents":[]}`), nil
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "up_total 5") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics?format=json: %d", code)
+	}
+	var fams []map[string]any
+	if err := json.Unmarshal([]byte(body), &fams); err != nil {
+		t.Errorf("JSON metrics do not parse: %v", err)
+	}
+
+	code, body = get(t, base+"/locks")
+	if code != http.StatusOK {
+		t.Fatalf("/locks: %d", code)
+	}
+	var rows []LockRow
+	if err := json.Unmarshal([]byte(body), &rows); err != nil || len(rows) != 1 || rows[0].Lock != "l1" {
+		t.Errorf("/locks body %q (err %v)", body, err)
+	}
+
+	code, body = get(t, base+"/trace")
+	if code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+		t.Errorf("/trace: %d %q", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestServerDoubleStart(t *testing.T) {
+	s := NewServer(NewRegistry())
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start should fail")
+	}
+}
+
+func TestServerHandlerErrors(t *testing.T) {
+	s := NewServer(NewRegistry())
+	s.HandleJSON("/boom", func() (any, error) { return nil, io.ErrUnexpectedEOF })
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, _ := get(t, "http://"+s.Addr()+"/boom")
+	if code != http.StatusInternalServerError {
+		t.Errorf("/boom: %d, want 500", code)
+	}
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"concord/internal/locks"
+	"concord/internal/profile"
+)
+
+// traceRingOrder sizes the telemetry trace ring (2^13 = 8192 records).
+const traceRingOrder = 13
+
+// traceSampleMask thins ring recording to 1 event in (mask+1): always
+// the first event, then every 8th. Aggregates are never sampled.
+const traceSampleMask = 7
+
+// Telemetry bundles one registry with the pre-created cross-layer
+// instruments the framework records into, the per-lock hook tables, and
+// a trace ring for Perfetto export. Create it with NewTelemetry and hand
+// it to Framework.EnableTelemetry (or use the concord.WithTelemetry
+// facade option, which does both).
+type Telemetry struct {
+	Registry *Registry
+	Ring     *profile.TraceRing
+
+	// Framework lifecycle instruments (internal/core records these).
+	PolicyLoads      *Counter // policies verified and registered
+	Attaches         *Counter // policy attach operations
+	Detaches         *Counter // policy detach operations
+	PolicyFaults     *Counter // runtime policy execution faults
+	SafetyFallbacks  *Counter // fault-triggered detaches to default behaviour
+	SafetyTrips      *Counter // lock invariant checks that quarantined a policy
+	PatchTransitions *Counter // livepatch hook-table replacements
+	PoliciesLoaded   *Gauge
+	LocksRegistered  *Gauge
+	DrainLatency     *Histogram // livepatch epoch drain, ns
+
+	mu        sync.Mutex
+	lockStats map[string]*lockMetrics
+	lockHooks map[string]*locks.Hooks
+}
+
+// lockMetrics is the cached per-lock instrument set behind one hook
+// table; all updates are single atomics.
+type lockMetrics struct {
+	acquisitions *Counter
+	contentions  *Counter
+	releases     *Counter
+	readAcqs     *Counter
+	wait         *Histogram
+	hold         *Histogram
+}
+
+// NewTelemetry builds a registry pre-populated with the cross-layer
+// instruments, so every acceptance-relevant metric is visible (at zero)
+// from the first scrape.
+func NewTelemetry() *Telemetry {
+	reg := NewRegistry()
+	t := &Telemetry{
+		Registry: reg,
+		Ring:     profile.NewTraceRing(traceRingOrder),
+		PolicyLoads: reg.Counter("concord_policy_loads_total",
+			"Policies verified and registered with the framework"),
+		Attaches: reg.Counter("concord_attaches_total",
+			"Policy attach operations (livepatch installs)"),
+		Detaches: reg.Counter("concord_detaches_total",
+			"Policy detach operations"),
+		PolicyFaults: reg.Counter("concord_policy_faults_total",
+			"Runtime policy execution faults"),
+		SafetyFallbacks: reg.Counter("concord_safety_fallbacks_total",
+			"Fault-triggered detaches falling back to default lock behaviour"),
+		SafetyTrips: reg.Counter("concord_safety_trips_total",
+			"Lock invariant checks that quarantined an attached policy"),
+		PatchTransitions: reg.Counter("concord_livepatch_transitions_total",
+			"Livepatch hook-table replacements"),
+		PoliciesLoaded: reg.Gauge("concord_policies_loaded",
+			"Policies currently loaded"),
+		LocksRegistered: reg.Gauge("concord_locks_registered",
+			"Locks currently registered"),
+		DrainLatency: reg.Histogram("concord_livepatch_drain_ns",
+			"Livepatch epoch drain latency: patch publication to full quiescence of the old hooks"),
+		lockStats: make(map[string]*lockMetrics),
+		lockHooks: make(map[string]*locks.Hooks),
+	}
+	ring := t.Ring
+	reg.AddExternal(func(add func(Sample)) {
+		add(Sample{Name: "concord_trace_records_lost_total", Kind: KindCounter,
+			Value: float64(ring.Overwritten())})
+	})
+	return t
+}
+
+func (t *Telemetry) metricsFor(lockName string) *lockMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.lockStats[lockName]
+	if m == nil {
+		reg := t.Registry
+		m = &lockMetrics{
+			acquisitions: reg.Counter("concord_lock_acquisitions_total",
+				"Lock acquisitions", "lock", lockName),
+			contentions: reg.Counter("concord_lock_contentions_total",
+				"Contended lock acquisitions", "lock", lockName),
+			releases: reg.Counter("concord_lock_releases_total",
+				"Lock releases", "lock", lockName),
+			readAcqs: reg.Counter("concord_lock_read_acquisitions_total",
+				"Shared (reader) acquisitions", "lock", lockName),
+			wait: reg.Histogram("concord_lock_wait_ns",
+				"Time from lock request to acquisition", "lock", lockName),
+			hold: reg.Histogram("concord_lock_hold_ns",
+				"Time the lock was held", "lock", lockName),
+		}
+		t.lockStats[lockName] = m
+	}
+	return m
+}
+
+// LockHooks returns the (cached) hook table instrumenting one lock:
+// counters plus wait/hold histograms into the registry, and raw events
+// into the trace ring. The framework composes it after any user policy
+// and profiler, so instrumentation stacks rather than replaces.
+//
+// The table is deliberately flat and sparse — this is the hot path. It
+// leaves OnAcquire nil (so locks skip building that event entirely;
+// acquisitions are counted in OnAcquired, which fires exactly once per
+// acquisition), it records into the ring only the acquired/release
+// events the Perfetto builder renders as slices, and it samples those
+// 1-in-(traceSampleMask+1) using the counters as the sample clock. The
+// counters and histograms stay exact; only the raw-event timeline is
+// thinned, which its best-effort ring contract already allows.
+func (t *Telemetry) LockHooks(lockName string) *locks.Hooks {
+	t.mu.Lock()
+	cached := t.lockHooks[lockName]
+	t.mu.Unlock()
+	if cached != nil {
+		return cached
+	}
+
+	m := t.metricsFor(lockName)
+	ring := t.Ring
+	h := &locks.Hooks{
+		Name: "telemetry",
+		OnContended: func(ev *locks.Event) {
+			m.contentions.Inc()
+		},
+		OnAcquired: func(ev *locks.Event) {
+			n := m.acquisitions.Bump()
+			m.wait.Observe(ev.WaitNS)
+			if ev.Reader {
+				m.readAcqs.Inc()
+			}
+			if (n-1)&traceSampleMask == 0 {
+				ring.Record(traceRecord(profile.TraceAcquired, ev))
+			}
+		},
+		OnRelease: func(ev *locks.Event) {
+			n := m.releases.Bump()
+			m.hold.Observe(ev.HoldNS)
+			if (n-1)&traceSampleMask == 0 {
+				ring.Record(traceRecord(profile.TraceRelease, ev))
+			}
+		},
+	}
+
+	t.mu.Lock()
+	if prior := t.lockHooks[lockName]; prior != nil {
+		h = prior // lost a racing build; keep one canonical table
+	} else {
+		t.lockHooks[lockName] = h
+	}
+	t.mu.Unlock()
+	return h
+}
+
+// traceRecord converts a hook event into a ring record.
+func traceRecord(op profile.TraceOp, ev *locks.Event) profile.TraceRecord {
+	tr := profile.TraceRecord{
+		NowNS: ev.NowNS, LockID: ev.LockID, Op: op,
+		WaitNS: ev.WaitNS, HoldNS: ev.HoldNS,
+	}
+	if ev.Task != nil {
+		tr.TaskID = ev.Task.ID()
+		tr.CPU = int32(ev.Task.CPU())
+	}
+	return tr
+}
+
+// LockRow is one lock's aggregated telemetry, the unit of the /locks
+// endpoint and `concordctl top`.
+type LockRow struct {
+	Lock         string `json:"lock"`
+	Policy       string `json:"policy,omitempty"`
+	Acquisitions int64  `json:"acquisitions"`
+	Contentions  int64  `json:"contentions"`
+	Releases     int64  `json:"releases"`
+	ReadAcqs     int64  `json:"read_acquisitions"`
+	WaitTotalNS  int64  `json:"wait_total_ns"`
+	WaitMeanNS   int64  `json:"wait_mean_ns"`
+	WaitP99NS    int64  `json:"wait_p99_ns"`
+	HoldMeanNS   int64  `json:"hold_mean_ns"`
+	HoldMaxNS    int64  `json:"hold_max_ns"`
+}
+
+// LockRows returns one row per instrumented lock, sorted by total wait
+// time (most contended first) — the lockstat ordering `top` prints.
+func (t *Telemetry) LockRows() []LockRow {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.lockStats))
+	stats := make([]*lockMetrics, 0, len(t.lockStats))
+	for n, m := range t.lockStats {
+		names = append(names, n)
+		stats = append(stats, m)
+	}
+	t.mu.Unlock()
+
+	rows := make([]LockRow, len(names))
+	for i, m := range stats {
+		rows[i] = LockRow{
+			Lock:         names[i],
+			Acquisitions: m.acquisitions.Value(),
+			Contentions:  m.contentions.Value(),
+			Releases:     m.releases.Value(),
+			ReadAcqs:     m.readAcqs.Value(),
+			WaitTotalNS:  m.wait.Sum(),
+			WaitMeanNS:   m.wait.Mean(),
+			WaitP99NS:    m.wait.Percentile(99),
+			HoldMeanNS:   m.hold.Mean(),
+			HoldMaxNS:    m.hold.Max(),
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].WaitTotalNS != rows[j].WaitTotalNS {
+			return rows[i].WaitTotalNS > rows[j].WaitTotalNS
+		}
+		return rows[i].Lock < rows[j].Lock
+	})
+	return rows
+}
+
+// TraceJSON renders the telemetry ring as a Perfetto-loadable timeline.
+// lockName resolves lock IDs to names and may be nil.
+func (t *Telemetry) TraceJSON(lockName func(uint64) string) ([]byte, error) {
+	b := NewTraceBuilder()
+	b.AddLockRecords(t.Ring.Snapshot(), lockName)
+	return b.JSON()
+}

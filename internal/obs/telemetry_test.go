@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"concord/internal/locks"
+	"concord/internal/task"
+	"concord/internal/topology"
+)
+
+func TestTelemetryLockHooks(t *testing.T) {
+	tel := NewTelemetry()
+	lock := locks.NewShflLock("hot")
+	lock.HookSlot().Replace("telemetry", tel.LockHooks("hot"))
+
+	topo := topology.New(2, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for i := 0; i < 200; i++ {
+				lock.Lock(tk)
+				lock.Unlock(tk)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rows := tel.LockRows()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Lock != "hot" || r.Acquisitions != 800 || r.Releases != 800 {
+		t.Errorf("row = %+v", r)
+	}
+	if r.HoldMaxNS <= 0 {
+		t.Error("hold histogram never observed")
+	}
+	// The same events landed in the trace ring.
+	if len(tel.Ring.Snapshot()) == 0 {
+		t.Error("trace ring empty")
+	}
+	// And in the Prometheus exposition.
+	var sb strings.Builder
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`concord_lock_acquisitions_total{lock="hot"} 800`,
+		`concord_lock_hold_ns_count{lock="hot"} 800`,
+		`concord_lock_wait_ns_bucket{lock="hot",le="+Inf"} 800`,
+		"concord_trace_records_lost_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestTelemetryLockHooksCached(t *testing.T) {
+	tel := NewTelemetry()
+	if tel.LockHooks("a") != tel.LockHooks("a") {
+		t.Error("LockHooks not cached per lock")
+	}
+	if tel.LockHooks("a") == tel.LockHooks("b") {
+		t.Error("distinct locks share a hook table")
+	}
+}
+
+func TestTelemetryComposesWithPolicy(t *testing.T) {
+	// A behavioural policy composed before telemetry keeps its decisions
+	// while telemetry still counts.
+	tel := NewTelemetry()
+	cmpCalls := 0
+	user := &locks.Hooks{
+		Name:    "user",
+		CmpNode: func(*locks.ShuffleInfo) bool { cmpCalls++; return false },
+	}
+	h := locks.ComposeHooks(user, tel.LockHooks("l"))
+	if h.CmpNode == nil {
+		t.Fatal("composition dropped the user's CmpNode")
+	}
+	h.CmpNode(&locks.ShuffleInfo{})
+	if cmpCalls != 1 {
+		t.Error("user CmpNode not invoked")
+	}
+	h.OnAcquired(&locks.Event{WaitNS: 50})
+	if got := tel.Registry.Histogram("concord_lock_wait_ns", "", "lock", "l").Count(); got != 1 {
+		t.Errorf("wait histogram count = %d, want 1", got)
+	}
+}
+
+func TestLockRowsSortedByWait(t *testing.T) {
+	tel := NewTelemetry()
+	cold := tel.LockHooks("cold")
+	hot := tel.LockHooks("hot")
+	for i := 0; i < 10; i++ {
+		hot.OnAcquired(&locks.Event{WaitNS: 10_000})
+		cold.OnAcquired(&locks.Event{WaitNS: 10})
+	}
+	rows := tel.LockRows()
+	if len(rows) != 2 || rows[0].Lock != "hot" {
+		t.Errorf("rows not sorted by total wait: %+v", rows)
+	}
+}
+
+func TestTelemetryTraceJSON(t *testing.T) {
+	tel := NewTelemetry()
+	h := tel.LockHooks("l")
+	h.OnAcquired(&locks.Event{LockID: 3, NowNS: 1000, WaitNS: 400})
+	h.OnRelease(&locks.Event{LockID: 3, NowNS: 2000, HoldNS: 900})
+	data, err := tel.TraceJSON(func(uint64) string { return "l" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "wait l") || !strings.Contains(string(data), "hold l") {
+		t.Errorf("trace missing slices: %s", data)
+	}
+}

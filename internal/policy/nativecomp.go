@@ -61,13 +61,16 @@ func CompileNative(p *Program) (CompiledFn, error) {
 	name := p.Name
 	kind := p.Kind
 	n := len(steps)
+	st := &p.stats
 	return func(ctx *Ctx, env Env) (uint64, error) {
 		if env == nil {
 			env = DefaultEnv
 		}
 		if ctx == nil || ctx.Layout.Kind != kind {
+			st.Faults.Add(1)
 			return 0, &RuntimeError{Name: name, PC: -1, Msg: "context kind mismatch"}
 		}
+		st.Runs.Add(1)
 		m := nmPool.Get().(*nmachine)
 		m.regs = [NumRegs]rtVal{}
 		m.ctx = ctx
@@ -75,23 +78,31 @@ func CompileNative(p *Program) (CompiledFn, error) {
 		m.err = nil
 		m.regs[R1] = rtVal{typ: tPtrCtx}
 		m.regs[RFP] = rtVal{typ: tPtrStack}
+		executed := 0
 		// Verified programs are loop-free: each step runs at most once.
 		for pc, budget := 0, n+1; pc >= 0; {
 			if budget--; budget < 0 {
 				nmPool.Put(m)
+				st.Insns.Add(int64(executed))
+				st.Faults.Add(1)
 				return 0, &RuntimeError{Name: name, PC: pc, Msg: "step budget exceeded (compiler bug)"}
 			}
 			if pc >= n {
 				nmPool.Put(m)
+				st.Insns.Add(int64(executed))
+				st.Faults.Add(1)
 				return 0, &RuntimeError{Name: name, PC: pc, Msg: "fell off the end (compiler bug)"}
 			}
+			executed++
 			pc = steps[pc](m)
 		}
 		err := m.err
 		ret := m.regs[R0].v
 		m.ctx, m.env = nil, nil
 		nmPool.Put(m)
+		st.Insns.Add(int64(executed))
 		if err != nil {
+			st.Faults.Add(1)
 			return 0, err
 		}
 		return ret, nil

@@ -3,6 +3,7 @@ package policy
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Program is a cBPF program: instructions plus the maps they reference.
@@ -16,7 +17,24 @@ type Program struct {
 	Maps  []Map
 
 	verified bool
+	stats    ExecStats
 }
+
+// ExecStats counts a program's runtime activity across every execution
+// environment (interpreter and native-compiled). All fields are atomics;
+// the VM accumulates instruction counts locally per run and folds them
+// in with one add, so the hot path stays cheap. The telemetry layer
+// exports these per program on /metrics.
+type ExecStats struct {
+	Runs        atomic.Int64 // completed or faulted executions
+	Insns       atomic.Int64 // instructions executed
+	HelperCalls atomic.Int64 // helper invocations
+	MapOps      atomic.Int64 // map lookup/update/delete/add helper calls
+	Faults      atomic.Int64 // runtime faults (RuntimeError)
+}
+
+// Stats returns the program's runtime execution counters.
+func (p *Program) Stats() *ExecStats { return &p.stats }
 
 // Verified reports whether the program has passed verification.
 func (p *Program) Verified() bool { return p.verified }

@@ -62,7 +62,13 @@ func (VM) Exec(p *Program, ctx *Ctx, env Env) (uint64, error) {
 	regs[R1] = rtVal{typ: tPtrCtx}
 	regs[RFP] = rtVal{typ: tPtrStack}
 
+	st := &p.stats
+	st.Runs.Add(1)
+	var steps int
+	defer func() { st.Insns.Add(int64(steps)) }()
+
 	fault := func(pc int, format string, args ...any) (uint64, error) {
+		st.Faults.Add(1)
 		return 0, &RuntimeError{Name: p.Name, PC: pc, Msg: fmt.Sprintf(format, args...)}
 	}
 
@@ -70,7 +76,7 @@ func (VM) Exec(p *Program, ctx *Ctx, env Env) (uint64, error) {
 	// Verified programs are loop-free: each instruction executes at most
 	// once, so n iterations bound the run. Keep an explicit budget as a
 	// final backstop.
-	for pc, steps := 0, 0; pc < n; steps++ {
+	for pc := 0; pc < n; steps++ {
 		if steps > n {
 			return fault(pc, "step budget exceeded (verifier bug)")
 		}
@@ -329,6 +335,10 @@ func stackRegion(stack []byte, ptr rtVal, size int) ([]byte, error) {
 }
 
 func execHelper(p *Program, h HelperID, regs *[NumRegs]rtVal, stack []byte, env Env) (rtVal, error) {
+	p.stats.HelperCalls.Add(1)
+	if h >= HelperMapLookup && h <= HelperMapAdd {
+		p.stats.MapOps.Add(1)
+	}
 	scalar := func(v uint64) rtVal { return rtVal{typ: tScalar, v: v} }
 	mapArg := func() (Map, int, error) {
 		r1 := regs[R1]

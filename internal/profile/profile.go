@@ -9,6 +9,7 @@ package profile
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -20,10 +21,31 @@ import (
 // histBuckets is the number of log2 latency buckets (ns to ~9.2s).
 const histBuckets = 34
 
-// Histogram is a lock-free log2 latency histogram.
+// NumBuckets is the number of log2 buckets in a Histogram, exported for
+// exporters that render the raw distribution (internal/obs).
+const NumBuckets = histBuckets
+
+// BucketUpperBound returns the largest sample value bucket i can hold:
+// bucket 0 holds only 0, bucket b holds [2^(b-1), 2^b-1], and the last
+// bucket is the clamp bucket holding everything larger (its bound is
+// MaxInt64).
+func BucketUpperBound(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= histBuckets-1:
+		return math.MaxInt64
+	default:
+		return (int64(1) << uint(i)) - 1
+	}
+}
+
+// Histogram is a lock-free log2 latency histogram. The sample count is
+// not kept as its own atomic — it is the sum of the buckets, computed on
+// read — so the write path stays at two uncontended-width atomic adds
+// plus a usually-read-only max update.
 type Histogram struct {
 	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
 	sum     atomic.Int64
 	max     atomic.Int64
 }
@@ -38,7 +60,6 @@ func (h *Histogram) Record(ns int64) {
 		b = histBuckets - 1
 	}
 	h.buckets[b].Add(1)
-	h.count.Add(1)
 	h.sum.Add(ns)
 	for {
 		m := h.max.Load()
@@ -48,12 +69,18 @@ func (h *Histogram) Record(ns int64) {
 	}
 }
 
-// Count returns the number of samples.
-func (h *Histogram) Count() int64 { return h.count.Load() }
+// Count returns the number of samples (summed over the buckets).
+func (h *Histogram) Count() int64 {
+	var n int64
+	for b := 0; b < histBuckets; b++ {
+		n += h.buckets[b].Load()
+	}
+	return n
+}
 
 // Mean returns the mean sample, or 0 with no samples.
 func (h *Histogram) Mean() int64 {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
@@ -63,10 +90,16 @@ func (h *Histogram) Mean() int64 {
 // Max returns the largest sample.
 func (h *Histogram) Max() int64 { return h.max.Load() }
 
+// Sum returns the sum of all samples (nanoseconds).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Percentile returns an upper bound for the p-th percentile (p in
-// [0,100]) at log2 resolution.
+// [0,100]) at log2 resolution. Edge cases: an empty histogram reports 0;
+// p <= 0 reports the bound of the smallest non-empty bucket; when the
+// target lands in the final clamp bucket the recorded Max is returned,
+// since the bucket's nominal bound (MaxInt64) carries no information.
 func (h *Histogram) Percentile(p float64) int64 {
-	n := h.count.Load()
+	n := h.Count()
 	if n == 0 {
 		return 0
 	}
@@ -81,7 +114,10 @@ func (h *Histogram) Percentile(p float64) int64 {
 			if b == 0 {
 				return 0
 			}
-			return 1 << b // upper bound of bucket
+			if b == histBuckets-1 {
+				return h.max.Load() // clamp bucket: bound is meaningless
+			}
+			return 1 << b // exclusive upper bound of bucket
 		}
 	}
 	return h.max.Load()

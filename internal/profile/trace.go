@@ -47,13 +47,46 @@ type TraceRecord struct {
 // finest-grained §3.2 profiling mode: where LockStats aggregates, the
 // ring keeps the raw event sequence for offline analysis (per-task
 // timelines, queue reconstruction). Writers never block; old records
-// are overwritten. Each slot holds an immutable record behind an atomic
-// pointer, so concurrent readers always see whole records.
+// are overwritten. Slots are flat atomic words, so Record never
+// allocates — cheap enough to leave on at full event rate. A snapshot
+// taken while writers are active is best-effort: a record being
+// overwritten concurrently may mix fields of the old and new event.
+//
+// Lost-record semantics: once the ring wraps, each Record call evicts
+// the oldest record and Overwritten counts every eviction since the ring
+// was created. A Snapshot therefore holds the most recent Cap() records
+// at most; consumers that need a gap-free sequence must drain the ring
+// (Snapshot + account for Overwritten) faster than writers fill it.
 type TraceRing struct {
 	mask uint64
 	pos  atomic.Uint64
-	recs []atomic.Pointer[TraceRecord]
-	lost atomic.Int64
+	recs []traceSlot
+}
+
+// traceSlot is one record flattened to independently-atomic words:
+// now, lockID, taskID, op|cpu<<8, wait, hold.
+type traceSlot [6]atomic.Uint64
+
+func (s *traceSlot) store(rec TraceRecord) {
+	s[0].Store(uint64(rec.NowNS))
+	s[1].Store(rec.LockID)
+	s[2].Store(uint64(rec.TaskID))
+	s[3].Store(uint64(rec.Op) | uint64(uint32(rec.CPU))<<8)
+	s[4].Store(uint64(rec.WaitNS))
+	s[5].Store(uint64(rec.HoldNS))
+}
+
+func (s *traceSlot) load() TraceRecord {
+	opcpu := s[3].Load()
+	return TraceRecord{
+		NowNS:  int64(s[0].Load()),
+		LockID: s[1].Load(),
+		TaskID: int64(s[2].Load()),
+		Op:     TraceOp(opcpu & 0xff),
+		CPU:    int32(uint32(opcpu >> 8)),
+		WaitNS: int64(s[4].Load()),
+		HoldNS: int64(s[5].Load()),
+	}
 }
 
 // NewTraceRing returns a ring holding 2^order records.
@@ -61,7 +94,7 @@ func NewTraceRing(order uint) *TraceRing {
 	n := uint64(1) << order
 	return &TraceRing{
 		mask: n - 1,
-		recs: make([]atomic.Pointer[TraceRecord], n),
+		recs: make([]traceSlot, n),
 	}
 }
 
@@ -71,13 +104,16 @@ func (r *TraceRing) Cap() int { return len(r.recs) }
 // Record appends one event, overwriting the oldest if full.
 func (r *TraceRing) Record(rec TraceRecord) {
 	i := (r.pos.Add(1) - 1) & r.mask
-	if r.recs[i].Swap(&rec) != nil {
-		r.lost.Add(1) // slot reused: a previous record was overwritten
-	}
+	r.recs[i].store(rec)
 }
 
 // Overwritten reports how many records were lost to wrap-around.
-func (r *TraceRing) Overwritten() int64 { return r.lost.Load() }
+func (r *TraceRing) Overwritten() int64 {
+	if p, n := r.pos.Load(), uint64(len(r.recs)); p > n {
+		return int64(p - n)
+	}
+	return 0
+}
 
 // Snapshot returns the records currently in the ring, oldest first
 // (best effort under concurrent writes).
@@ -90,9 +126,10 @@ func (r *TraceRing) Snapshot() []TraceRecord {
 	}
 	out := make([]TraceRecord, 0, end-start)
 	for p := start; p < end; p++ {
-		if rec := r.recs[p&r.mask].Load(); rec != nil {
-			out = append(out, *rec)
-		}
+		// Slots below pos were claimed by a writer; one still being
+		// stored reads as stale or zero data, within the best-effort
+		// contract above.
+		out = append(out, r.recs[p&r.mask].load())
 	}
 	return out
 }
@@ -122,8 +159,14 @@ func (r *TraceRing) Hooks() *locks.Hooks {
 	}
 }
 
-// Dump writes the snapshot as one line per record.
+// Dump writes the snapshot as one line per record, preceded by a header
+// line naming the columns and the trace ops, and reporting how many
+// records were lost to wrap-around.
 func (r *TraceRing) Dump(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# now_ns lock task cpu op(%s|%s|%s|%s) wait_ns hold_ns lost=%d\n",
+		TraceAcquire, TraceContended, TraceAcquired, TraceRelease, r.Overwritten()); err != nil {
+		return err
+	}
 	for _, rec := range r.Snapshot() {
 		if _, err := fmt.Fprintf(w, "%d lock=%d task=%d cpu=%d %s wait=%d hold=%d\n",
 			rec.NowNS, rec.LockID, rec.TaskID, rec.CPU, rec.Op, rec.WaitNS, rec.HoldNS); err != nil {

@@ -61,6 +61,12 @@ type T struct {
 	// "Exposing scheduler semantics").
 	quotaNS   atomic.Int64
 	preempted atomic.Bool
+
+	// hookScratch is a free-list of one, used by the locks layer to
+	// reuse hook-event allocations across emissions on this task. Only
+	// the task's own goroutine touches it (events are emitted on the
+	// acquiring/releasing path), so it needs no synchronisation.
+	hookScratch any
 }
 
 // New creates a task pinned to a fresh virtual CPU of topo (round-robin).
@@ -202,6 +208,20 @@ func (t *T) CSCount() int64 { return t.csCount.Load() }
 
 // CSLast returns the duration of the most recent critical section.
 func (t *T) CSLast() int64 { return t.csLastNS.Load() }
+
+// TakeScratch removes and returns the task's scratch value (nil if
+// absent or already taken). Taking rather than borrowing keeps nested
+// use safe: a reentrant caller sees nil and falls back to allocating.
+// Owner-goroutine only.
+func (t *T) TakeScratch() any {
+	s := t.hookScratch
+	t.hookScratch = nil
+	return s
+}
+
+// PutScratch stashes a value for the next TakeScratch on this task.
+// Owner-goroutine only.
+func (t *T) PutScratch(s any) { t.hookScratch = s }
 
 // CSAverage returns the task's mean critical-section length, or 0 if the
 // task has not completed one yet.

@@ -1,0 +1,82 @@
+package concord
+
+import (
+	"errors"
+
+	"concord/internal/core"
+	"concord/internal/obs"
+)
+
+// --- Unified telemetry (observability across every layer) ---
+//
+// The paper's §3.2 use case is making kernel locks observable on
+// demand. The telemetry layer extends that to the whole reproduction:
+// per-lock wait/hold histograms, policy VM execution counters,
+// livepatch transition and epoch-drain latencies, and framework safety
+// events, all scrapeable over HTTP and exportable as a Perfetto
+// timeline.
+
+// Telemetry bundles the metrics registry, the pre-created cross-layer
+// instruments, and a trace ring for Perfetto export.
+type Telemetry = obs.Telemetry
+
+// MetricsRegistry is the lock-free metric registry behind a Telemetry.
+type MetricsRegistry = obs.Registry
+
+// TelemetryServer is the embeddable HTTP endpoint (/metrics, /locks,
+// /policies, /trace, /debug/pprof).
+type TelemetryServer = obs.Server
+
+// LockRow is one lock's aggregated telemetry (the /locks and
+// `concordctl top` row).
+type LockRow = obs.LockRow
+
+// PolicyRow is one loaded policy's summary (the /policies row).
+type PolicyRow = core.PolicyRow
+
+// TraceBuilder assembles Chrome/Perfetto trace-event JSON from lock
+// trace records and simulator slices.
+type TraceBuilder = obs.TraceBuilder
+
+// NewTraceBuilder returns an empty trace builder.
+func NewTraceBuilder() *TraceBuilder { return obs.NewTraceBuilder() }
+
+// NewTelemetry returns a telemetry bundle with every cross-layer
+// instrument pre-created; attach it with Framework.EnableTelemetry.
+func NewTelemetry() *Telemetry { return obs.NewTelemetry() }
+
+// WithTelemetry enables the unified telemetry layer on a new framework:
+//
+//	fw := concord.New(topo, concord.WithTelemetry())
+//	srv, _ := concord.NewTelemetryServer(fw)
+//	_ = srv.Start("127.0.0.1:0")
+//
+// Every registered lock gets acquisition/contention counters and
+// wait/hold histograms composed after its policy, and the framework
+// records lifecycle, VM, and livepatch metrics into fw.Telemetry().
+func WithTelemetry() Option {
+	return func(f *Framework) { f.EnableTelemetry(obs.NewTelemetry()) }
+}
+
+// ErrNoTelemetry is returned by NewTelemetryServer when the framework
+// was built without WithTelemetry (or EnableTelemetry).
+var ErrNoTelemetry = errors.New("concord: telemetry not enabled (use WithTelemetry)")
+
+// NewTelemetryServer builds the fully wired telemetry HTTP server for a
+// framework: /metrics (Prometheus text; ?format=json for JSON), /locks
+// and /policies (JSON rows), /trace (Perfetto-loadable timeline of the
+// telemetry trace ring), and /debug/pprof. Call Start to listen and
+// Close to stop; Handler embeds it into an existing server instead.
+func NewTelemetryServer(fw *Framework) (*TelemetryServer, error) {
+	tel := fw.Telemetry()
+	if tel == nil {
+		return nil, ErrNoTelemetry
+	}
+	s := obs.NewServer(tel.Registry)
+	s.HandleJSON("/locks", func() (any, error) { return fw.LockRows(), nil })
+	s.HandleJSON("/policies", func() (any, error) { return fw.PolicyRows(), nil })
+	s.HandleRaw("/trace", "application/json", func() ([]byte, error) {
+		return tel.TraceJSON(fw.LockNameByID)
+	})
+	return s, nil
+}
