@@ -544,3 +544,66 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("bare", func(b *testing.B) { run(b) })
 	b.Run("telemetry", func(b *testing.B) { run(b, concord.WithTelemetry()) })
 }
+
+// BenchmarkFaultInjectionOverhead measures the fault-injection plane's
+// hot-path cost on the contended hash-table workload with a supervised
+// cBPF policy attached — every acquisition crosses the policy.helper,
+// policy.mapop and core.hook_panic sites. "disarmed" is the production
+// configuration: each crossing is a single atomic-load nil-check, and
+// the acceptance bar is <= 2% against the pre-plane baseline (compare
+// with BenchmarkTelemetryOverhead/bare across commits). "armed-inert"
+// arms those sites at a vanishing probability to expose the cost the
+// nil-check avoids: the full draw path and its per-site mutex.
+func BenchmarkFaultInjectionOverhead(b *testing.B) {
+	topo := topology.Paper()
+	run := func(b *testing.B, plan map[string]concord.FaultConfig) {
+		defer concord.DisarmAllFaults()
+		fw := concord.New(topo)
+		l := locks.NewShflLock("ht")
+		if err := fw.RegisterLock(l); err != nil {
+			b.Fatal(err)
+		}
+		m := policy.NewArrayMap("m", 8, 1)
+		prog := policy.NewBuilder("pol", policy.KindLockAcquired).
+			StoreStackImm(policy.OpStW, -4, 0).
+			LoadMapPtr(policy.R1, m).
+			MovReg(policy.R2, policy.RFP).
+			AddImm(policy.R2, -4).
+			Call(policy.HelperMapLookup).
+			ReturnImm(0).
+			MustProgram()
+		if _, err := fw.LoadPolicy("pol", prog); err != nil {
+			b.Fatal(err)
+		}
+		att, err := fw.Attach("ht", "pol")
+		if err != nil {
+			b.Fatal(err)
+		}
+		att.Wait()
+		if plan != nil {
+			if err := (concord.FaultPlan{Seed: 1, Sites: plan}).Apply(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var tput float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := workloads.RunHashTable(l, topo, workloads.HashTableConfig{
+				Workers: 4, OpsPerWorker: 3000, ReadFraction: 0.8,
+			})
+			tput = res.OpsPerMSec()
+		}
+		b.ReportMetric(tput, "ops/ms")
+		if att.Faults() != 0 {
+			b.Fatalf("inert sites fired: %d faults", att.Faults())
+		}
+	}
+	b.Run("disarmed", func(b *testing.B) { run(b, nil) })
+	b.Run("armed-inert", func(b *testing.B) {
+		run(b, map[string]concord.FaultConfig{
+			"policy.helper":   {Probability: 1e-12},
+			"policy.mapop":    {Probability: 1e-12},
+			"core.hook_panic": {Probability: 1e-12},
+		})
+	})
+}

@@ -12,6 +12,7 @@
 //	concordctl demo   [-policy numa|inheritance|scl] [-workers N] [-ops N]
 //	concordctl serve  [-addr host:port] [-policy P] [-duration 30s]
 //	concordctl top    [-addr host:port | -policy P] [-n N] [-interval 1s]
+//	concordctl health [-addr host:port | -policy P] [-inject]
 //	concordctl kinds
 //
 // Map specs have the form name:type:keysize:valuesize:maxentries, e.g.
@@ -52,6 +53,8 @@ func main() {
 		err = cmdServe(os.Args[2:], os.Stdout)
 	case "top":
 		err = cmdTop(os.Args[2:], os.Stdout)
+	case "health":
+		err = cmdHealth(os.Args[2:], os.Stdout)
 	case "kinds":
 		err = cmdKinds()
 	case "-h", "--help", "help":
@@ -86,6 +89,9 @@ commands:
   top    [-addr A | -policy P] [-n N] [-interval D]
          print a lockstat-style table, most wait time first; -addr
          scrapes a running serve, otherwise drives load in-process
+  health [-addr A | -policy P] [-inject]
+         print per-lock breaker state, faults, retries and last trip;
+         -inject demonstrates a transient fault healing in-process
   kinds  list program kinds (the Table 1 hook points)
 `)
 }

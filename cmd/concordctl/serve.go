@@ -41,6 +41,18 @@ func loadDemoPolicy(fw *concord.Framework, name string) error {
 	case "fifo":
 		_, err := fw.LoadNative("fifo", concord.FIFOHooks())
 		return err
+	case "acquired":
+		// Trivial cBPF program on the lock_acquired hook, which runs on
+		// every acquisition — contended or not. The robustness demo
+		// (`health -inject`) targets it so an injected hook fault fires
+		// even on hosts where the workload never queues (the shuffler
+		// hooks only run under contention).
+		prog := concord.MustAssemble("acquired", concord.KindLockAcquired, `
+			mov r0, 1
+			exit
+		`, nil)
+		_, err := fw.LoadPolicy("acquired", prog)
+		return err
 	}
 	return fmt.Errorf("unknown demo policy %q", name)
 }
@@ -57,8 +69,16 @@ type serveSession struct {
 }
 
 func startServeSession(policyName string, workers, ops int) (*serveSession, error) {
+	return startSupervisedSession(policyName, workers, ops, concord.SupervisorConfig{})
+}
+
+// startSupervisedSession is startServeSession with an explicit
+// supervisor (circuit breaker) configuration, set before the policy is
+// attached. The zero config is the one-shot fault valve.
+func startSupervisedSession(policyName string, workers, ops int, supCfg concord.SupervisorConfig) (*serveSession, error) {
 	topo := concord.PaperTopology()
 	fw := concord.New(topo, concord.WithTelemetry())
+	fw.SetSupervisorConfig(supCfg)
 	lock := concord.NewShflLock("demo_lock", concord.WithMaxRounds(64))
 	if err := fw.RegisterLock(lock); err != nil {
 		return nil, err
@@ -87,7 +107,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	addr := fs.String("addr", "127.0.0.1:6060", "listen address (port 0 picks a free port)")
-	policyName := fs.String("policy", "numa", "policy to attach: numa | inheritance | scl | fifo | none")
+	policyName := fs.String("policy", "numa", "policy to attach: numa | inheritance | scl | fifo | acquired | none")
 	workers := fs.Int("workers", 8, "workload worker goroutines")
 	ops := fs.Int("ops", 2000, "operations per worker per workload round")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = serve until killed)")
@@ -111,7 +131,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	}
 	defer srv.Close()
 	fmt.Fprintf(stdout, "serving telemetry on http://%s\n", srv.Addr())
-	fmt.Fprintf(stdout, "endpoints: /metrics (?format=json) /locks /policies /trace /debug/pprof/\n")
+	fmt.Fprintf(stdout, "endpoints: /metrics (?format=json) /locks /policies /health /trace /debug/pprof/\n")
 
 	var deadline time.Time
 	if *duration > 0 {
@@ -188,14 +208,11 @@ func scrapeLockRows(addr string) ([]concord.LockRow, error) {
 // printLockTable renders lock rows (already sorted most-waited-first).
 func printLockTable(w io.Writer, rows []concord.LockRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "LOCK\tPOLICY\tACQ\tCONT\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
+	fmt.Fprintln(tw, "LOCK\tPOLICY\tBRK\tACQ\tCONT\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
 	for _, r := range rows {
-		policy := r.Policy
-		if policy == "" {
-			policy = "-"
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
-			r.Lock, policy, r.Acquisitions, r.Contentions, r.ReadAcqs,
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			r.Lock, orDash(r.Policy), orDash(r.Breaker),
+			r.Acquisitions, r.Contentions, r.ReadAcqs,
 			fmtDur(r.WaitTotalNS), fmtDur(r.WaitMeanNS), fmtDur(r.WaitP99NS),
 			fmtDur(r.HoldMeanNS), fmtDur(r.HoldMaxNS))
 	}

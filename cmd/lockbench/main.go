@@ -5,7 +5,11 @@
 //
 //	lockbench -experiment f2a|f2b|f2c|f2c-real|a3|all
 //	          [-threads 1,2,4,...] [-format table|csv] [-out file]
-//	          [-json dir]
+//	          [-json dir] [-deadline 10m]
+//
+// -deadline bounds the whole run: if it expires, lockbench prints a
+// full goroutine dump to stderr (so a wedged lock is diagnosable) and
+// exits with status 3 instead of hanging CI.
 //
 // -json additionally writes one BENCH_<experiment>.json per experiment
 // (machine-readable points: series, threads, value) into dir.
@@ -20,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"concord/internal/experiments"
 )
@@ -33,7 +39,20 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json files into this directory")
 	ops := flag.Int("ops", 2000, "ops per worker for f2c-real")
+	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this (0 = no deadline); keeps a wedged benchmark from hanging CI")
 	flag.Parse()
+
+	if *deadline > 0 {
+		time.AfterFunc(*deadline, func() {
+			fmt.Fprintf(os.Stderr, "lockbench: deadline %v exceeded — dumping goroutines\n", *deadline)
+			// The stacks say *which* lock operation wedged — the
+			// diagnostic a silent CI timeout would throw away.
+			if prof := pprof.Lookup("goroutine"); prof != nil {
+				prof.WriteTo(os.Stderr, 2)
+			}
+			os.Exit(3)
+		})
+	}
 
 	threads := experiments.DefaultThreads
 	if *threadsFlag != "" {

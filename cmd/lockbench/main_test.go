@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -61,6 +62,35 @@ func TestLockbenchCSVAndTable(t *testing.T) {
 	}
 	if !bytes.Contains(data, []byte("a3,numa,80,")) {
 		t.Errorf("file output:\n%s", data)
+	}
+}
+
+func TestLockbenchDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildLockbench(t)
+
+	// A deadline the full f2a sweep cannot meet: expect the goroutine
+	// dump and exit status 3 instead of a hang.
+	cmd := exec.Command(bin, "-experiment", "f2a", "-deadline", "1ms")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 3 {
+		t.Fatalf("want exit status 3, got %v\n%s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "deadline 1ms exceeded") || !strings.Contains(out, "goroutine") {
+		t.Errorf("deadline dump missing:\n%s", out)
+	}
+
+	// A generous deadline must not perturb a normal run.
+	if out, err := exec.Command(bin, "-experiment", "a3", "-deadline", "10m", "-format", "csv").Output(); err != nil {
+		t.Fatalf("run with generous deadline: %v", err)
+	} else if !strings.Contains(string(out), "a3,") {
+		t.Errorf("output missing rows:\n%s", out)
 	}
 }
 

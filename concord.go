@@ -45,6 +45,7 @@ package concord
 
 import (
 	"concord/internal/core"
+	"concord/internal/faultinject"
 	"concord/internal/livepatch"
 	"concord/internal/locks"
 	"concord/internal/policy"
@@ -290,3 +291,58 @@ type TraceRing = profile.TraceRing
 
 // NewTraceRing returns a ring holding 2^order trace records.
 func NewTraceRing(order uint) *TraceRing { return profile.NewTraceRing(order) }
+
+// --- Robustness: policy supervision and fault injection ---
+
+// SupervisorConfig tunes the per-attachment circuit breaker applied by
+// Framework.SetSupervisorConfig: retry budget, exponential backoff,
+// probation window, drain deadline, latency watchdog and safety-trip
+// escalation. The zero value is the original one-shot valve — the first
+// runtime fault permanently detaches the policy.
+type SupervisorConfig = core.SupervisorConfig
+
+// BreakerState is an attachment's circuit-breaker state; see
+// Attachment.Breaker.
+type BreakerState = core.BreakerState
+
+// Breaker states: closed (healthy) → open (detached, backoff pending) →
+// half-open (re-attached on probation) → closed again, or quarantined
+// (terminal).
+const (
+	BreakerClosed      = core.BreakerClosed
+	BreakerOpen        = core.BreakerOpen
+	BreakerHalfOpen    = core.BreakerHalfOpen
+	BreakerQuarantined = core.BreakerQuarantined
+)
+
+// Supervision and degradation errors, re-exported for errors.Is.
+var (
+	ErrHookLatency       = core.ErrHookLatency
+	ErrHookPanic         = core.ErrHookPanic
+	ErrDrainTimeout      = core.ErrDrainTimeout
+	ErrTransitionAborted = core.ErrTransitionAborted
+	ErrSafetyTrip        = core.ErrSafetyTrip
+	// ErrSwitchAborted reports a SwitchableRWLock.SwitchTimeout whose
+	// drain deadline passed; the lock stayed on the old implementation.
+	ErrSwitchAborted = locks.ErrSwitchAborted
+)
+
+// FaultSite is one named fault-injection point (e.g. "policy.helper");
+// FaultConfig arms it, FaultPlan arms a whole set from one seed — the
+// unit of a reproducible chaos run.
+type (
+	FaultSite   = faultinject.Site
+	FaultConfig = faultinject.Config
+	FaultPlan   = faultinject.Plan
+)
+
+// Fault-injection plane, re-exported.
+var (
+	// FaultSites lists every registered injection site, sorted by name.
+	FaultSites = faultinject.Sites
+	// LookupFaultSite finds a site by name ("layer.site").
+	LookupFaultSite = faultinject.Lookup
+	// DisarmAllFaults deactivates every site (restores production paths
+	// to a single nil-check).
+	DisarmAllFaults = faultinject.DisarmAll
+)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"concord/internal/faultinject"
 	"concord/internal/locks"
 	"concord/internal/policy"
 	"concord/internal/task"
@@ -105,11 +107,14 @@ func (e *taskEnv) Rand() uint64 {
 func (e *taskEnv) Trace(uint64) {}
 
 // adapter turns a set of verified programs into a locks.Hooks table.
-// One adapter backs one attachment; it owns fault bookkeeping.
+// One adapter backs one attach attempt; it owns fault bookkeeping.
+// faultFn fires at most once per adapter (the supervisor trip), so
+// concurrent faulting hooks collapse to exactly one detach.
 type adapter struct {
-	policyName string
-	faultFn    func(err error) // invoked once on the first policy fault
-	countFault func()          // telemetry hook, invoked on every fault
+	policyName    string
+	faultFn       func(err error) // invoked once on the first policy fault
+	countFault    func()          // supervisor/telemetry hook, every fault
+	latencyBudget time.Duration   // >0 arms the latency watchdog
 
 	faults    atomic.Int64
 	faultOnce sync.Once
@@ -182,13 +187,42 @@ func (a *adapter) hooks(progs map[policy.Kind]*policy.Program) *locks.Hooks {
 			compiled[p] = fn
 		}
 	}
-	exec := func(p *policy.Program, ctx *policy.Ctx, t *task.T) (uint64, bool) {
-		var ret uint64
+	exec := func(p *policy.Program, ctx *policy.Ctx, t *task.T) (ret uint64, ok bool) {
+		// Containment: a panicking hook (injected or real) becomes a
+		// policy fault instead of unwinding into the lock algorithm.
+		defer func() {
+			if r := recover(); r != nil {
+				a.fault(fmt.Errorf("%w: %v", ErrHookPanic, r))
+				ret, ok = 0, false
+			}
+		}()
+		if faultinject.CoreHookPanic.Enabled() {
+			if flt, fire := faultinject.CoreHookPanic.Fire(); fire {
+				panic(flt.Err)
+			}
+		}
+		var start time.Time
+		if a.latencyBudget > 0 {
+			start = time.Now()
+		}
+		// Injected hook latency lands inside the watchdog's measurement
+		// window — exactly how a slow policy would present.
+		if faultinject.PolicyLatency.Enabled() {
+			if flt, fire := faultinject.PolicyLatency.Fire(); fire && flt.Delay > 0 {
+				time.Sleep(flt.Delay)
+			}
+		}
 		var err error
 		if fn := compiled[p]; fn != nil {
 			ret, err = fn(ctx, a.envFor(t))
 		} else {
 			ret, err = policy.Exec(p, ctx, a.envFor(t))
+		}
+		if a.latencyBudget > 0 {
+			if el := time.Since(start); el > a.latencyBudget {
+				a.fault(fmt.Errorf("%w: hook ran %v (budget %v)",
+					ErrHookLatency, el, a.latencyBudget))
+			}
 		}
 		if err != nil {
 			a.fault(err)

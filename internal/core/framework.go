@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"concord/internal/faultinject"
 	"concord/internal/livepatch"
 	"concord/internal/locks"
 	"concord/internal/obs"
@@ -84,34 +85,35 @@ func (p *Policy) decisionKinds() map[policy.Kind]bool {
 	return out
 }
 
-// Attachment records a policy installed on a lock.
+// Attachment records a policy installed on a lock. Every attachment is
+// supervised: runtime faults trip a per-attachment circuit breaker
+// whose behaviour is set by the framework's SupervisorConfig.
 type Attachment struct {
 	Lock   string
 	Policy string
 
-	adapter *adapter
-	patch   *livepatch.Patch
+	sup *supervisor
 }
 
 // Wait blocks until the previous hook table has fully drained — the
-// livepatch consistency point.
-func (a *Attachment) Wait() { a.patch.Wait() }
+// livepatch consistency point (of the most recent attach attempt).
+func (a *Attachment) Wait() { a.sup.waitPatch() }
 
-// Faults reports how many policy executions have faulted at runtime.
-func (a *Attachment) Faults() int64 {
-	if a.adapter == nil {
-		return 0
-	}
-	return a.adapter.Faults()
-}
+// Faults reports how many policy executions have faulted at runtime,
+// aggregated across re-attach attempts.
+func (a *Attachment) Faults() int64 { return a.sup.faults.Load() }
 
-// Err returns the first runtime policy fault, if any.
-func (a *Attachment) Err() error {
-	if a.adapter == nil {
-		return nil
-	}
-	return a.adapter.Err()
-}
+// Err returns the most recent supervisor trip error, if any.
+func (a *Attachment) Err() error { return a.sup.Err() }
+
+// Breaker returns the attachment's circuit-breaker state.
+func (a *Attachment) Breaker() BreakerState { return a.sup.State() }
+
+// Retries reports how many re-attach attempts the supervisor has made.
+func (a *Attachment) Retries() int { return a.sup.Retries() }
+
+// Quarantined reports whether the policy is permanently detached.
+func (a *Attachment) Quarantined() bool { return a.sup.State() == BreakerQuarantined }
 
 // lockState is the framework's view of one registered lock.
 type lockState struct {
@@ -119,6 +121,11 @@ type lockState struct {
 	hooked   locks.Hooked
 	attached *Attachment
 	profiler *profile.Profiler
+	// sup supervises the newest attachment on this lock. It outlives
+	// st.attached (a quarantined policy clears attached but keeps its
+	// supervisor visible in health reporting) and is replaced on the
+	// next Attach.
+	sup *supervisor
 }
 
 // Framework is the Concord control plane. All methods are safe for
@@ -132,16 +139,32 @@ type Framework struct {
 	policies map[string]*Policy
 	shadow   *livepatch.ShadowStore
 	tel      *obs.Telemetry
+	supCfg   SupervisorConfig
 }
 
 // New returns an empty framework for the given topology.
 func New(topo *topology.Topology) *Framework {
-	return &Framework{
+	f := &Framework{
 		topo:     topo,
 		locks:    make(map[string]*lockState),
 		policies: make(map[string]*Policy),
 		shadow:   livepatch.NewShadowStore(),
 	}
+	// Route lock runtime safety trips into the policy supervisor. The
+	// observer is process-global (locks sits below core in the import
+	// graph): last framework created wins, as with the telemetry
+	// observers.
+	locks.SetSafetyObserver(f.handleSafetyTrip)
+	return f
+}
+
+// SetSupervisorConfig sets the circuit-breaker configuration applied to
+// subsequent Attach calls (existing attachments keep theirs). The zero
+// value is the original one-shot valve: first fault quarantines.
+func (f *Framework) SetSupervisorConfig(cfg SupervisorConfig) {
+	f.mu.Lock()
+	f.supCfg = cfg
+	f.mu.Unlock()
 }
 
 // Topology returns the machine topology the framework manages.
@@ -327,40 +350,52 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchPolicy, policyName)
 	}
 
-	ad := &adapter{policyName: policyName}
-	slot := st.hooked.HookSlot()
-	if f.tel != nil {
-		faults := f.tel.PolicyFaults
-		ad.countFault = faults.Inc
-	}
-	att := &Attachment{Lock: lockName, Policy: policyName, adapter: ad}
-	ad.faultFn = func(err error) {
-		// Runtime safety valve: first fault detaches the policy. The
-		// fallback table keeps the profiler and telemetry hooks — only
-		// the faulting policy is dropped.
-		f.mu.Lock()
-		if st.attached == att {
-			st.attached = nil
+	// Injected transition abort (livepatch.abort site): the attach fails
+	// before any state changes, as a kernel livepatch transition that
+	// cannot complete would.
+	if faultinject.LivepatchAbort.Enabled() {
+		if flt, fire := faultinject.LivepatchAbort.Fire(); fire {
+			tel := f.tel
+			f.mu.Unlock()
+			if tel != nil {
+				tel.TransitionAborts.Inc()
+			}
+			return nil, fmt.Errorf("%w: %s on %s: %v",
+				ErrTransitionAborted, policyName, lockName, flt.Err)
 		}
-		fallback := f.effectiveHooks(st, nil, nil)
-		tel := f.tel
-		f.mu.Unlock()
-		if tel != nil {
-			tel.SafetyFallbacks.Inc()
-		}
-		slot.Replace("fault-detach:"+policyName, fallback)
 	}
+
+	// The runtime safety valve is the attachment's supervisor: faults
+	// trip a circuit breaker that swaps in fallback hooks (keeping the
+	// profiler and telemetry — only the faulting policy is dropped) and,
+	// configuration permitting, re-attaches after backoff.
+	sup := &supervisor{
+		f: f, st: st, lockName: lockName, policyName: policyName, cfg: f.supCfg,
+	}
+	att := &Attachment{Lock: lockName, Policy: policyName, sup: sup}
+	sup.att = att
+	ad := newAdapter(f, sup)
+	sup.ad = ad
+	prevSup := st.sup
 	st.attached = att
+	st.sup = sup
 	hooks := f.effectiveHooks(st, p, ad)
-	if f.tel != nil {
+	tel := f.tel
+	if tel != nil {
 		f.tel.Attaches.Inc()
 	}
+	slot := st.hooked.HookSlot()
 	f.mu.Unlock()
 
+	if prevSup != nil {
+		prevSup.cancel()
+	}
 	if r, ok := st.hooked.(interface{ ResetSafety() }); ok {
 		r.ResetSafety()
 	}
-	att.patch = slot.Replace(policyName, hooks)
+	patch := slot.Replace(policyName, hooks)
+	sup.setPatch(patch)
+	sup.watchDrain(patch, tel)
 	return att, nil
 }
 
@@ -378,11 +413,16 @@ func (f *Framework) Detach(lockName string) (*livepatch.Patch, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNothingAttached, lockName)
 	}
 	st.attached = nil
+	sup := st.sup
+	st.sup = nil
 	hooks := f.effectiveHooks(st, nil, nil)
 	if f.tel != nil {
 		f.tel.Detaches.Inc()
 	}
 	f.mu.Unlock()
+	if sup != nil {
+		sup.cancel()
+	}
 	return st.hooked.HookSlot().Replace("detach", hooks), nil
 }
 
@@ -398,9 +438,9 @@ func (f *Framework) StartProfiling(lockName string, prof *profile.Profiler) erro
 	st.profiler = prof
 	var p *Policy
 	var ad *adapter
-	if st.attached != nil {
+	if st.attached != nil && st.sup != nil {
 		p = f.policies[st.attached.Policy]
-		ad = st.attached.adapter
+		ad = st.sup.ad
 	}
 	hooks := f.effectiveHooks(st, p, ad)
 	f.mu.Unlock()
@@ -419,9 +459,9 @@ func (f *Framework) StopProfiling(lockName string) error {
 	st.profiler = nil
 	var p *Policy
 	var ad *adapter
-	if st.attached != nil {
+	if st.attached != nil && st.sup != nil {
 		p = f.policies[st.attached.Policy]
-		ad = st.attached.adapter
+		ad = st.sup.ad
 	}
 	hooks := f.effectiveHooks(st, p, ad)
 	f.mu.Unlock()

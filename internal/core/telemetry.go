@@ -42,10 +42,12 @@ func (f *Framework) EnableTelemetry(t *obs.Telemetry) {
 	for _, st := range f.locks {
 		var p *Policy
 		var ad *adapter
-		if st.attached != nil {
+		if st.attached != nil && st.sup != nil {
 			p = f.policies[st.attached.Policy]
-			ad = st.attached.adapter
-			ad.countFault = t.PolicyFaults.Inc
+			// Adapters report faults through the framework's telemetry
+			// pointer at fault time, so no per-adapter rewiring is needed
+			// when telemetry is enabled late.
+			ad = st.sup.ad
 		}
 		patches = append(patches, repatch{st, f.effectiveHooks(st, p, ad)})
 	}
@@ -59,10 +61,39 @@ func (f *Framework) EnableTelemetry(t *obs.Telemetry) {
 	livepatch.SetPatchObserver(func(string) { transitions.Inc() })
 	drain := t.DrainLatency
 	livepatch.SetDrainObserver(func(_ string, drainNS int64) { drain.Observe(drainNS) })
-	trips := t.SafetyTrips
-	locks.SetSafetyObserver(func(_, _ string) { trips.Inc() })
+	// Safety trips route through the supervisor (re-installed here in
+	// case another framework claimed the process-global observer since
+	// New).
+	locks.SetSafetyObserver(f.handleSafetyTrip)
 
 	t.Registry.AddExternal(f.collectVMStats)
+	t.Registry.AddExternal(f.collectLockRobustness)
+}
+
+// collectLockRobustness emits per-lock robustness counters kept by the
+// lock implementations themselves: switch aborts (bounded-drain lock
+// switching) and park rescues (lost-wakeup watchdog recoveries).
+func (f *Framework) collectLockRobustness(add func(obs.Sample)) {
+	f.mu.Lock()
+	type src struct {
+		name string
+		lock locks.Lock
+	}
+	srcs := make([]src, 0, len(f.locks))
+	for name, st := range f.locks {
+		srcs = append(srcs, src{name, st.lock})
+	}
+	f.mu.Unlock()
+	for _, s := range srcs {
+		if a, ok := s.lock.(interface{ Aborts() int64 }); ok {
+			add(obs.Sample{Name: "concord_switch_aborts_total", Kind: obs.KindCounter,
+				Labels: []string{"lock", s.name}, Value: float64(a.Aborts())})
+		}
+		if r, ok := s.lock.(interface{ ParkRescues() int64 }); ok {
+			add(obs.Sample{Name: "concord_park_rescues_total", Kind: obs.KindCounter,
+				Labels: []string{"lock", s.name}, Value: float64(r.ParkRescues())})
+		}
+	}
 }
 
 // Telemetry returns the bundle passed to EnableTelemetry, or nil.
@@ -116,9 +147,11 @@ func (f *Framework) LockRows() []obs.LockRow {
 	if tel == nil {
 		return nil
 	}
+	breakers := f.breakerByLock()
 	rows := tel.LockRows()
 	for i := range rows {
 		rows[i].Policy = attached[rows[i].Lock]
+		rows[i].Breaker = breakers[rows[i].Lock]
 	}
 	return rows
 }

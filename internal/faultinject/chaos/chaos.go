@@ -1,0 +1,225 @@
+// Package chaos is the soak harness of the fault-injection plane: it
+// stands up a full Concord stack (framework + telemetry + a supervised
+// policy on a ShflLock-protected hashtable), arms a reproducible fault
+// plan, drives load, and snapshots everything the invariant checks
+// need — injected-fault counts per site, attachment fault totals,
+// breaker state, supervisor telemetry counters, park-rescue counts and
+// lock safety state.
+//
+// The harness itself asserts nothing; the invariants live in the tests
+// (and the CI chaos-smoke job), which compose runs like:
+//
+//	h, _ := chaos.New(chaos.Config{
+//	    Seed: 42,
+//	    Plan: map[string]faultinject.Config{"policy.helper": {MaxFires: 2}},
+//	    Supervisor: core.SupervisorConfig{MaxRetries: 5, ...},
+//	})
+//	defer h.Close()
+//	h.RunRound()
+//	r := h.Snapshot()   // exact fire accounting, breaker state, ...
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"concord/internal/core"
+	"concord/internal/faultinject"
+	"concord/internal/locks"
+	"concord/internal/obs"
+	"concord/internal/policy"
+	"concord/internal/topology"
+	"concord/internal/workloads"
+)
+
+// Config describes one chaos run.
+type Config struct {
+	// Seed drives every armed site's random stream (via faultinject.Plan);
+	// the same seed reproduces the same fault sequence per site.
+	Seed uint64
+	// Plan maps site names to arm configurations. Applied after the
+	// policy is attached, so attach itself is not perturbed unless the
+	// test arms livepatch.abort explicitly before calling New.
+	Plan map[string]faultinject.Config
+	// Supervisor is the breaker configuration under test.
+	Supervisor core.SupervisorConfig
+
+	// Workload shape. Zero values default to 4 workers × 300 ops, 70%
+	// reads, on a 2×4 topology — small enough for a -race CI smoke, big
+	// enough to queue waiters.
+	Workers      int
+	OpsPerWorker int
+	ReadFraction float64
+	Sockets      int
+	CoresPer     int
+	// Blocking switches the lock into spin-then-park mode so the parker
+	// sites (locks.park_delay, locks.lost_wakeup) have a path to bite.
+	Blocking bool
+}
+
+func (c *Config) defaults() {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.OpsPerWorker == 0 {
+		c.OpsPerWorker = 300
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.7
+	}
+	if c.Sockets == 0 {
+		c.Sockets = 2
+	}
+	if c.CoresPer == 0 {
+		c.CoresPer = 4
+	}
+}
+
+// Snapshot is the observable state of a harness at one instant; tests
+// diff and assert on it.
+type Snapshot struct {
+	Ops          int64 // total workload ops completed so far
+	Breaker      core.BreakerState
+	Retries      int
+	Faults       int64            // attachment policy-fault total
+	Fires        map[string]int64 // injected fires per site since New
+	ParkRescues  int64
+	SafetyError  string // lock invariant violation, "" when conserved
+	Fallbacks    int64  // obs: safety fallback hook swaps
+	Reattaches   int64
+	BreakerCloses int64
+	Quarantines  int64
+}
+
+// TotalInjectedFaults sums the fires of the error-delivering policy
+// sites — the number that must equal Faults for exact accounting.
+// (Latency and parker sites perturb timing, not policy execution.)
+func (s *Snapshot) TotalInjectedFaults() int64 {
+	return s.Fires["policy.helper"] + s.Fires["policy.mapop"] +
+		s.Fires["policy.trap"] + s.Fires["core.hook_panic"]
+}
+
+// Harness is a live chaos stack.
+type Harness struct {
+	FW   *core.Framework
+	Tel  *obs.Telemetry
+	Lock *locks.ShflLock
+	Att  *core.Attachment
+
+	cfg   Config
+	topo  *topology.Topology
+	base  map[string]int64 // site fires at New time
+	ops   int64
+}
+
+// New builds the stack, attaches the supervised policy, and arms the
+// fault plan. Callers must Close (disarms every site) when done.
+func New(cfg Config) (*Harness, error) {
+	cfg.defaults()
+	topo := topology.New(cfg.Sockets, cfg.CoresPer)
+	fw := core.New(topo)
+	tel := obs.NewTelemetry()
+	fw.EnableTelemetry(tel)
+	fw.SetSupervisorConfig(cfg.Supervisor)
+
+	opts := []locks.ShflOption{locks.WithMaxRounds(64)}
+	if cfg.Blocking {
+		opts = append(opts, locks.WithBlocking(true), locks.WithSpinBudget(64))
+	}
+	l := locks.NewShflLock("chaos_lock", opts...)
+	if err := fw.RegisterLock(l); err != nil {
+		return nil, err
+	}
+
+	// The policy under chaos performs a map lookup on every acquisition:
+	// every hook invocation crosses the helper path, so the policy-layer
+	// sites fire on a deterministic schedule under load.
+	m := policy.NewArrayMap("chaos_m", 8, 1)
+	prog := policy.NewBuilder("chaos_pol", policy.KindLockAcquired).
+		StoreStackImm(policy.OpStW, -4, 0).
+		LoadMapPtr(policy.R1, m).
+		MovReg(policy.R2, policy.RFP).
+		AddImm(policy.R2, -4).
+		Call(policy.HelperMapLookup).
+		JmpImm(policy.OpJneImm, policy.R0, 0, "ok").
+		ReturnImm(0).
+		Label("ok").
+		ReturnImm(1).
+		MustProgram()
+	if _, err := fw.LoadPolicy("chaos_pol", prog); err != nil {
+		return nil, err
+	}
+	att, err := fw.Attach("chaos_lock", "chaos_pol")
+	if err != nil {
+		return nil, err
+	}
+	att.Wait()
+
+	base := make(map[string]int64)
+	for _, s := range faultinject.Sites() {
+		base[s.Name()] = s.Fires()
+	}
+	plan := faultinject.Plan{Seed: cfg.Seed, Sites: cfg.Plan}
+	if err := plan.Apply(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return &Harness{FW: fw, Tel: tel, Lock: l, Att: att, cfg: cfg, topo: topo, base: base}, nil
+}
+
+// Close disarms every injection site (the harness armed a subset; a
+// full disarm restores the production nil-check everywhere).
+func (h *Harness) Close() { faultinject.DisarmAll() }
+
+// RunRound drives one hashtable round through the (possibly degraded)
+// lock and returns its result. Progress of this call under injected
+// faults IS the liveness invariant: it must terminate.
+func (h *Harness) RunRound() workloads.Result {
+	res := workloads.RunHashTable(h.Lock, h.topo, workloads.HashTableConfig{
+		Workers:      h.cfg.Workers,
+		OpsPerWorker: h.cfg.OpsPerWorker,
+		ReadFraction: h.cfg.ReadFraction,
+	})
+	h.ops += res.Ops
+	return res
+}
+
+// ExpectedOpsPerRound is the op count a fully conserved round must
+// complete (queue conservation: no operation is lost to a dropped
+// wakeup or a breaker transition).
+func (h *Harness) ExpectedOpsPerRound() int64 {
+	return int64(h.cfg.Workers) * int64(h.cfg.OpsPerWorker)
+}
+
+// Snapshot captures the current observable state.
+func (h *Harness) Snapshot() *Snapshot {
+	fires := make(map[string]int64)
+	for _, s := range faultinject.Sites() {
+		fires[s.Name()] = s.Fires() - h.base[s.Name()]
+	}
+	return &Snapshot{
+		Ops:           h.ops,
+		Breaker:       h.Att.Breaker(),
+		Retries:       h.Att.Retries(),
+		Faults:        h.Att.Faults(),
+		Fires:         fires,
+		ParkRescues:   h.Lock.ParkRescues(),
+		SafetyError:   h.Lock.SafetyError(),
+		Fallbacks:     h.Tel.SafetyFallbacks.Value(),
+		Reattaches:    h.Tel.Reattaches.Value(),
+		BreakerCloses: h.Tel.BreakerCloses.Value(),
+		Quarantines:   h.Tel.Quarantines.Value(),
+	}
+}
+
+// WaitBreaker polls until the attachment's breaker reaches want or the
+// deadline passes; reports whether it got there.
+func (h *Harness) WaitBreaker(want core.BreakerState, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h.Att.Breaker() == want {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return h.Att.Breaker() == want
+}

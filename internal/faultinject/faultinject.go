@@ -1,0 +1,264 @@
+// Package faultinject is Concord's deterministic fault-injection plane:
+// a registry of named injection sites threaded through every layer of
+// the reproduction (policy VM, livepatch, locks, core framework). The
+// motivation is the paper's §4.2 safety story — a bad policy must never
+// take the system down — which is only credible if the failure paths
+// are exercised deliberately. The same direction appears in eBPF-based
+// kernel concurrency testing (inject faults/schedules to surface lock
+// bugs) and in the eBPF runtime's own survival strategy (isolate and
+// unload misbehaving programs rather than crash).
+//
+// Design constraints:
+//
+//   - Disabled sites must be invisible on the hot path. Site.Enabled is
+//     a single atomic pointer load compiled into the caller as a
+//     nil-check; a disarmed site performs no other work. The F2c ≤20%
+//     instrumentation-overhead bar budgeted in PR 1 is untouched.
+//   - Determinism. Every armed site draws from its own splitmix64
+//     stream seeded from Plan.Seed and the site name, so a chaos run is
+//     reproducible from one integer, independent of goroutine
+//     interleaving of *other* sites.
+//   - Exact accounting. Each fire is counted; the chaos harness asserts
+//     that observed policy faults equal injected ones.
+//
+// The package is a leaf: it imports only the standard library, so every
+// layer (including internal/livepatch at the bottom of the graph) can
+// use it without cycles.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error delivered by error-class sites.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is one delivered fault: an error to surface, a delay to impose,
+// or both. Sites interpret the fields they understand (a latency site
+// uses Delay and ignores Err; an error site the reverse).
+type Fault struct {
+	Err   error
+	Delay time.Duration
+}
+
+// Config arms a site.
+type Config struct {
+	// Probability in [0,1] of firing per Fire call; values <= 0 or >= 1
+	// mean "always fire".
+	Probability float64
+	// MaxFires caps delivered faults (0 = unlimited). After the cap the
+	// site stays armed but inert — the "transient fault" shape.
+	MaxFires int64
+	// Delay imposed per delivered fault (latency/stall sites).
+	Delay time.Duration
+	// Err delivered per fault; nil defaults to ErrInjected.
+	Err error
+	// Seed for the site's private random stream; 0 derives one from the
+	// site name (still deterministic, just not caller-chosen).
+	Seed uint64
+}
+
+// armed is the active state of an armed site; swapped in/out atomically
+// so a disarmed site is exactly one nil-check.
+type armed struct {
+	cfg Config
+
+	mu    sync.Mutex // guards rng (Fire is the cold path by definition)
+	rng   uint64
+	fired int64
+}
+
+// Site is one named injection point. The zero value is unusable; sites
+// are created with New (package-level vars below for Concord's fixed
+// sites) and live for the process lifetime.
+type Site struct {
+	name  string
+	state atomic.Pointer[armed]
+	fires atomic.Int64
+}
+
+// Name returns the site's registry name.
+func (s *Site) Name() string { return s.name }
+
+// Enabled reports whether the site is armed. This is the hot-path
+// guard: one atomic load, no branches beyond the nil-check.
+func (s *Site) Enabled() bool { return s.state.Load() != nil }
+
+// Fires reports how many faults this site has delivered since process
+// start (not reset by Disarm — the chaos harness diffs snapshots).
+func (s *Site) Fires() int64 { return s.fires.Load() }
+
+// Arm activates the site with cfg. Re-arming replaces the previous
+// configuration and restarts the site's random stream.
+func (s *Site) Arm(cfg Config) {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = hashName(s.name)
+	}
+	s.state.Store(&armed{cfg: cfg, rng: seed})
+}
+
+// Disarm deactivates the site.
+func (s *Site) Disarm() { s.state.Store(nil) }
+
+// Fire asks an armed site for a fault. It returns (fault, true) when
+// one should be delivered. Callers must gate on Enabled first; calling
+// Fire on a disarmed site returns (Fault{}, false).
+func (s *Site) Fire() (Fault, bool) {
+	a := s.state.Load()
+	if a == nil {
+		return Fault{}, false
+	}
+	a.mu.Lock()
+	if a.cfg.MaxFires > 0 && a.fired >= a.cfg.MaxFires {
+		a.mu.Unlock()
+		return Fault{}, false
+	}
+	if p := a.cfg.Probability; p > 0 && p < 1 {
+		// 53-bit uniform draw from the site's private stream.
+		u := float64(splitmix64(&a.rng)>>11) / (1 << 53)
+		if u >= p {
+			a.mu.Unlock()
+			return Fault{}, false
+		}
+	}
+	a.fired++
+	f := Fault{Err: a.cfg.Err, Delay: a.cfg.Delay}
+	a.mu.Unlock()
+	s.fires.Add(1)
+	return f, true
+}
+
+// splitmix64 advances *state and returns the next value of the stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashName is FNV-1a, used to derive per-site default seeds.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// --- Registry ---
+
+var (
+	regMu sync.Mutex
+	reg   = make(map[string]*Site)
+)
+
+// New creates and registers a site. Registering a duplicate name
+// panics: site names are compile-time identifiers, not runtime data.
+func New(name string) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		panic(fmt.Sprintf("faultinject: duplicate site %q", name))
+	}
+	s := &Site{name: name}
+	reg[name] = s
+	return s
+}
+
+// Lookup returns the site with the given name, if registered.
+func Lookup(name string) (*Site, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := reg[name]
+	return s, ok
+}
+
+// Sites returns every registered site, sorted by name.
+func Sites() []*Site {
+	regMu.Lock()
+	out := make([]*Site, 0, len(reg))
+	for _, s := range reg {
+		out = append(out, s)
+	}
+	regMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// DisarmAll disarms every registered site (test cleanup).
+func DisarmAll() {
+	for _, s := range Sites() {
+		s.Disarm()
+	}
+}
+
+// Plan arms a set of sites from one seed — the unit of a reproducible
+// chaos run. Each site gets a private stream derived from Seed and its
+// name, so arming more sites never perturbs existing ones.
+type Plan struct {
+	Seed  uint64
+	Sites map[string]Config
+}
+
+// Apply arms every named site. Unknown site names are an error (a typo
+// in a chaos config must not silently inject nothing).
+func (p Plan) Apply() error {
+	for name, cfg := range p.Sites {
+		s, ok := Lookup(name)
+		if !ok {
+			return fmt.Errorf("faultinject: unknown site %q", name)
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = p.Seed ^ hashName(name)
+			if cfg.Seed == 0 {
+				cfg.Seed = 1
+			}
+		}
+		s.Arm(cfg)
+	}
+	return nil
+}
+
+// --- Concord's fixed injection sites ---
+//
+// Naming: layer.site. These are package-level so call sites compile to
+// a direct load of a global plus the nil-check.
+var (
+	// PolicyHelper fails policy VM helper calls (execHelper entry).
+	PolicyHelper = New("policy.helper")
+	// PolicyMapOp fails map-op helpers specifically (lookup/update/
+	// delete/add), leaving scalar helpers alone.
+	PolicyMapOp = New("policy.mapop")
+	// PolicyTrap forces a trap at program entry (interpreter path).
+	PolicyTrap = New("policy.trap")
+	// PolicyLatency stretches hook execution in the core adapter — the
+	// target of the supervisor's latency watchdog.
+	PolicyLatency = New("policy.latency")
+	// LivepatchDrain stalls the epoch drain of a replaced hook-table
+	// version by Delay (holds a phantom reader pin).
+	LivepatchDrain = New("livepatch.drain")
+	// LivepatchAbort aborts a policy attach before installation.
+	LivepatchAbort = New("livepatch.abort")
+	// LockParkDelay delays a parker handoff (unpark) by Delay.
+	LockParkDelay = New("locks.park_delay")
+	// LockLostWakeup drops a parker wakeup entirely; the park rescue
+	// watchdog must recover liveness.
+	LockLostWakeup = New("locks.lost_wakeup")
+	// CoreHookPanic panics inside a policy hook invocation; the adapter
+	// must contain it and convert it to a policy fault.
+	CoreHookPanic = New("core.hook_panic")
+)

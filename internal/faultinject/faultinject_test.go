@@ -1,0 +1,167 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedSiteIsInert(t *testing.T) {
+	s := New("test.inert")
+	if s.Enabled() {
+		t.Fatal("fresh site reports enabled")
+	}
+	if _, ok := s.Fire(); ok {
+		t.Fatal("disarmed site fired")
+	}
+	if s.Fires() != 0 {
+		t.Fatal("disarmed site counted a fire")
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	s := New("test.basic")
+	s.Arm(Config{Delay: 3 * time.Millisecond})
+	if !s.Enabled() {
+		t.Fatal("armed site reports disabled")
+	}
+	f, ok := s.Fire()
+	if !ok {
+		t.Fatal("armed always-fire site did not fire")
+	}
+	if !errors.Is(f.Err, ErrInjected) {
+		t.Errorf("default error = %v, want ErrInjected", f.Err)
+	}
+	if f.Delay != 3*time.Millisecond {
+		t.Errorf("delay = %v", f.Delay)
+	}
+	if s.Fires() != 1 {
+		t.Errorf("fires = %d, want 1", s.Fires())
+	}
+	s.Disarm()
+	if s.Enabled() {
+		t.Fatal("disarmed site reports enabled")
+	}
+	if _, ok := s.Fire(); ok {
+		t.Fatal("disarmed site fired")
+	}
+}
+
+func TestMaxFiresCap(t *testing.T) {
+	s := New("test.cap")
+	s.Arm(Config{MaxFires: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Fire(); ok {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("fired %d times, want 2 (MaxFires)", fired)
+	}
+	if !s.Enabled() {
+		t.Error("capped site should stay armed (inert)")
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	run := func() []bool {
+		s, ok := Lookup("test.prob")
+		if !ok {
+			s = New("test.prob")
+		}
+		s.Arm(Config{Probability: 0.3, Seed: 42})
+		out := make([]bool, 200)
+		for i := range out {
+			_, out[i] = s.Fire()
+		}
+		s.Disarm()
+		return out
+	}
+	a, b := run(), run()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	// 200 draws at p=0.3: expect ~60; require the rate is plausible.
+	if hits < 30 || hits > 100 {
+		t.Errorf("hit rate %d/200 implausible for p=0.3", hits)
+	}
+}
+
+func TestPlanApply(t *testing.T) {
+	s := New("test.plan")
+	defer s.Disarm()
+	p := Plan{Seed: 7, Sites: map[string]Config{"test.plan": {MaxFires: 1}}}
+	if err := p.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Enabled() {
+		t.Fatal("plan did not arm site")
+	}
+	if err := (Plan{Sites: map[string]Config{"no.such.site": {}}}).Apply(); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestRegistryListsFixedSites(t *testing.T) {
+	want := []string{
+		"core.hook_panic", "livepatch.abort", "livepatch.drain",
+		"locks.lost_wakeup", "locks.park_delay",
+		"policy.helper", "policy.latency", "policy.mapop", "policy.trap",
+	}
+	have := make(map[string]bool)
+	for _, s := range Sites() {
+		have[s.Name()] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("fixed site %q not registered", name)
+		}
+	}
+}
+
+func TestDuplicateSitePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	New("test.dup")
+	New("test.dup")
+}
+
+// BenchmarkDisabledSite measures the hot-path guard of a disarmed site —
+// the cost every instrumented fast path pays when injection is off.
+func BenchmarkDisabledSite(b *testing.B) {
+	PolicyHelper.Disarm()
+	b.ReportAllocs()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if PolicyHelper.Enabled() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("site unexpectedly armed")
+	}
+}
+
+func BenchmarkArmedInertSite(b *testing.B) {
+	s := New("bench.inert")
+	s.Arm(Config{MaxFires: 1})
+	s.Fire() // exhaust the cap; subsequent fires are the inert path
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Enabled() {
+			s.Fire()
+		}
+	}
+	b.StopTimer()
+	s.Disarm()
+}

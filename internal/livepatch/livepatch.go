@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"concord/internal/faultinject"
 )
 
 // Instrumentation hooks. The telemetry layer (internal/obs, wired by
@@ -146,7 +148,7 @@ func (s *Slot[T]) Peek() *T {
 
 // Patch is an in-progress or completed replacement of a slot's value.
 type Patch struct {
-	wait     func()
+	done     chan struct{} // drain completion; nil when nothing drained
 	rollback func() *Patch
 	name     string
 }
@@ -157,7 +159,34 @@ func (p *Patch) Name() string { return p.name }
 // Wait blocks until every Get that returned the *previous* value has
 // released it — the livepatch consistency point. After Wait, no code is
 // still running against the replaced hooks.
-func (p *Patch) Wait() { p.wait() }
+func (p *Patch) Wait() {
+	if p.done != nil {
+		<-p.done
+	}
+}
+
+// WaitTimeout is Wait with a deadline: it reports whether the drain
+// completed within d. A false return means some execution still holds
+// the replaced value — the caller can degrade (typically Rollback)
+// instead of blocking forever behind a wedged reader.
+func (p *Patch) WaitTimeout(d time.Duration) bool {
+	if p.done == nil {
+		return true
+	}
+	select {
+	case <-p.done:
+		return true
+	default:
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-p.done:
+		return true
+	case <-timer.C:
+		return false
+	}
+}
 
 // Rollback re-publishes the value this patch replaced and returns the
 // resulting patch (whose Wait drains users of the rolled-back value).
@@ -179,9 +208,19 @@ func (s *Slot[T]) replaceLocked(name string, val *T) *Patch {
 	next := &version[T]{val: val, done: make(chan struct{})}
 	old := s.cur.Swap(next)
 
-	wait := func() {}
+	p := &Patch{name: name}
 	var oldVal *T
 	if old != nil {
+		// Injected drain stall: hold a phantom reader pin on the retiring
+		// version for the configured delay, exactly as a wedged hook
+		// invocation would. Pinned before retirement so the accounting
+		// below cannot observe an intermediate state.
+		if faultinject.LivepatchDrain.Enabled() {
+			if flt, ok := faultinject.LivepatchDrain.Fire(); ok && flt.Delay > 0 {
+				old.refs.Add(1)
+				time.AfterFunc(flt.Delay, old.release)
+			}
+		}
 		oldVal = old.val
 		old.retiredBy = name
 		old.retiredAt = time.Now().UnixNano()
@@ -189,9 +228,8 @@ func (s *Slot[T]) replaceLocked(name string, val *T) *Patch {
 		if old.refs.Load() == 0 {
 			old.finish()
 		}
-		wait = func() { <-old.done }
+		p.done = old.done
 	}
-	p := &Patch{name: name, wait: wait}
 	p.rollback = func() *Patch {
 		return s.Replace(name+"(rollback)", oldVal)
 	}

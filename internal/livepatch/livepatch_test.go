@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"concord/internal/faultinject"
 )
 
 func TestSlotBasics(t *testing.T) {
@@ -167,6 +169,180 @@ func TestWaitCoversOnlyDisplacedVersion(t *testing.T) {
 	}
 	release.Release()
 	<-blocked
+}
+
+func TestWaitTimeoutNeverQuiescing(t *testing.T) {
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+
+	// A reader that never quiesces: the pin is held across the patch and
+	// never released until we decide the "wedge" is over.
+	_, release := s.Get()
+	p := s.Replace("p1", &v2)
+
+	if p.WaitTimeout(10 * time.Millisecond) {
+		t.Fatal("WaitTimeout reported drained while old reader pinned")
+	}
+	// A failed bounded wait must not consume or corrupt the drain: the
+	// same patch completes once the reader finally releases.
+	release.Release()
+	if !p.WaitTimeout(time.Second) {
+		t.Fatal("WaitTimeout did not observe the drain after release")
+	}
+	p.Wait() // and the unbounded wait agrees, without blocking
+}
+
+func TestWaitTimeoutFastPaths(t *testing.T) {
+	// Replacing into a zero slot displaces nothing: there is no drain, so
+	// even a zero timeout succeeds.
+	var s Slot[int]
+	v1 := 1
+	if p := s.Replace("p0", &v1); !p.WaitTimeout(0) {
+		t.Fatal("WaitTimeout on no-drain patch returned false")
+	}
+	// An already-drained patch succeeds without arming a timer.
+	v2 := 2
+	p := s.Replace("p1", &v2)
+	p.Wait()
+	if !p.WaitTimeout(0) {
+		t.Fatal("WaitTimeout on drained patch returned false")
+	}
+}
+
+func TestWaitTimeoutRollbackDegradation(t *testing.T) {
+	// The bounded-drain degradation ladder: patch, give the drain a
+	// deadline, and on timeout roll back rather than block forever behind
+	// a wedged reader. This is the shape core uses for Patch.WaitTimeout
+	// → Rollback.
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+
+	old, pin := s.Get() // the wedged invocation
+	if *old != 1 {
+		t.Fatal("wrong pin")
+	}
+	p := s.Replace("p1", &v2)
+	if p.WaitTimeout(5 * time.Millisecond) {
+		t.Fatal("drain completed with a wedged reader")
+	}
+	rb := p.Rollback()
+
+	// New invocations are back on the old value immediately.
+	got, release := s.Get()
+	if *got != 1 {
+		t.Fatalf("after rollback: %d, want 1", *got)
+	}
+	release.Release()
+
+	// The wedged reader still holds a valid value and, once it quiesces,
+	// the rollback patch's own drain (covering v2's brief reign) and the
+	// original patch both complete.
+	if *old != 1 {
+		t.Fatal("pinned value changed under reader")
+	}
+	pin.Release()
+	p.Wait()
+	rb.Wait()
+	if s.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2 (patch + rollback)", s.Depth())
+	}
+}
+
+func TestInjectedDrainStall(t *testing.T) {
+	// The livepatch.drain fault site holds a phantom pin on the retiring
+	// version: even with zero real readers the drain must stall for the
+	// injected delay, then complete on its own.
+	defer faultinject.DisarmAll()
+	faultinject.LivepatchDrain.Arm(faultinject.Config{
+		MaxFires: 1,
+		Delay:    40 * time.Millisecond,
+	})
+
+	v1, v2 := 1, 2
+	s := NewSlot(&v1)
+	start := time.Now()
+	p := s.Replace("p1", &v2)
+	if p.WaitTimeout(2 * time.Millisecond) {
+		t.Fatal("phantom pin did not stall the drain")
+	}
+	p.Wait()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("drain completed in %v, injected stall was 40ms", elapsed)
+	}
+
+	// The site was capped at one fire: the next patch drains instantly.
+	v3 := 3
+	if !s.Replace("p2", &v3).WaitTimeout(0) {
+		t.Error("second patch stalled after MaxFires exhausted")
+	}
+}
+
+func TestConcurrentStackRollback(t *testing.T) {
+	// Patchers stack Replace+Rollback pairs while readers continuously
+	// pin: every observed value must be coherent, every drain must
+	// terminate, and the history depth must account for exactly one
+	// patch plus one rollback per iteration.
+	vals := make([]*int, 4)
+	for i := range vals {
+		v := i + 100
+		vals[i] = &v
+	}
+	base := 0
+	s := NewSlot(&base)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var reads atomic.Int64
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				v, release := s.Get()
+				if v == nil || (*v != 0 && (*v < 100 || *v > 103)) {
+					t.Errorf("incoherent value %v", v)
+					release.Release()
+					return
+				}
+				reads.Add(1)
+				release.Release()
+			}
+		}()
+	}
+
+	const patchers, iters = 3, 40
+	var pwg sync.WaitGroup
+	for w := 0; w < patchers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			for i := 0; i < iters; i++ {
+				p := s.Replace("p", vals[w%len(vals)])
+				// Interleave bounded and unbounded drains; both must
+				// terminate with readers churning.
+				if i%2 == 0 {
+					p.Wait()
+				} else {
+					for !p.WaitTimeout(50 * time.Millisecond) {
+					}
+				}
+				p.Rollback().Wait()
+			}
+		}(w)
+	}
+	pwg.Wait()
+	for reads.Load() == 0 {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if want := patchers * iters * 2; s.Depth() != want {
+		t.Errorf("Depth = %d, want %d", s.Depth(), want)
+	}
+	if reads.Load() == 0 {
+		t.Error("no reads observed")
+	}
 }
 
 func TestShadowStore(t *testing.T) {

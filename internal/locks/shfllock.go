@@ -3,7 +3,9 @@ package locks
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"concord/internal/faultinject"
 	"concord/internal/task"
 )
 
@@ -22,11 +24,25 @@ type shflNode struct {
 }
 
 func (n *shflNode) unpark() {
-	if n.parkCh != nil {
-		select {
-		case n.parkCh <- struct{}{}:
-		default:
+	if n.parkCh == nil {
+		return
+	}
+	// Injected handoff faults (nil-checks when disarmed): a lost wakeup
+	// drops the signal entirely — the park rescue timer must restore
+	// liveness — and a park delay stretches the handoff.
+	if faultinject.LockLostWakeup.Enabled() {
+		if _, ok := faultinject.LockLostWakeup.Fire(); ok {
+			return
 		}
+	}
+	if faultinject.LockParkDelay.Enabled() {
+		if flt, ok := faultinject.LockParkDelay.Fire(); ok && flt.Delay > 0 {
+			time.Sleep(flt.Delay)
+		}
+	}
+	select {
+	case n.parkCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -68,6 +84,10 @@ type ShflLock struct {
 	statRounds atomic.Int64
 	statMoves  atomic.Int64
 	statSkips  atomic.Int64
+
+	// statRescues counts parked waiters the rescue timer recovered after
+	// a missed wakeup (robustness watchdog; see park).
+	statRescues atomic.Int64
 }
 
 // ShflOption configures a ShflLock.
@@ -135,6 +155,10 @@ func (l *ShflLock) ShuffleStats() (rounds, moves, skips int64) {
 
 // QueueLen reports the instantaneous number of queued waiters.
 func (l *ShflLock) QueueLen() int { return int(l.qlen.Load()) }
+
+// ParkRescues reports how many parked waiters were recovered by the
+// rescue timer after a missed wakeup.
+func (l *ShflLock) ParkRescues() int64 { return l.statRescues.Load() }
 
 // Lock implements Lock.
 func (l *ShflLock) Lock(t *task.T) {
@@ -309,9 +333,27 @@ func (l *ShflLock) waitForHead(n *shflNode) {
 	}
 }
 
+// parkRescueInterval bounds how long a parked waiter sleeps before
+// re-checking its promotion status. A wakeup lost between the status
+// store and the channel send (or dropped by fault injection) costs at
+// most one interval instead of hanging the queue — the kernel-style
+// "missed wakeup" watchdog. Parking is already the slow path (spin
+// budget exhausted), so the periodic re-check is off the critical path.
+const parkRescueInterval = 2 * time.Millisecond
+
 func (l *ShflLock) park(n *shflNode) {
 	for n.status.Load() != shflHead {
-		<-n.parkCh
+		timer := time.NewTimer(parkRescueInterval)
+		select {
+		case <-n.parkCh:
+			timer.Stop()
+		case <-timer.C:
+			if n.status.Load() == shflHead {
+				// Promoted but never signalled: a lost wakeup, healed.
+				l.statRescues.Add(1)
+				return
+			}
+		}
 	}
 }
 

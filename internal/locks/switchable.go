@@ -1,12 +1,19 @@
 package locks
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"concord/internal/livepatch"
 	"concord/internal/task"
 )
+
+// ErrSwitchAborted is returned by SwitchTimeout when the old
+// implementation failed to drain within the deadline and the switch was
+// rolled back (the lock stays on the old implementation).
+var ErrSwitchAborted = errors.New("locks: implementation switch aborted (drain deadline exceeded)")
 
 // SwitchableRWLock realizes §3.1.1's "lock switching" use case literally:
 // a readers-writer lock whose *implementation* can be replaced at
@@ -29,16 +36,31 @@ type SwitchableRWLock struct {
 	held sync.Map // taskID int64 -> *pinned
 
 	switches atomic.Int64
+	aborts   atomic.Int64
 }
+
+// Switch resolution states (rwImpl.state). A switched-in implementation
+// starts pending; exactly one of the drain goroutine (ready) and the
+// deadline path (aborted) wins the CAS from pending, so a switch
+// resolves exactly once even when the drain races the deadline.
+const (
+	rwPending int32 = iota
+	rwReady
+	rwAborted
+)
 
 // rwImpl wraps the underlying lock for slot storage. ready is closed
 // once the *previous* implementation has drained: acquisitions on a
 // freshly switched-in lock block on it, so holders of the old lock and
 // holders of the new one can never overlap — the property that keeps
-// mutual exclusion continuous across a switch.
+// mutual exclusion continuous across a switch. aborted is closed
+// instead when a bounded switch gave up waiting for that drain; blocked
+// acquirers then retry against the rolled-back implementation.
 type rwImpl struct {
-	l     RWLock
-	ready chan struct{}
+	l       RWLock
+	ready   chan struct{}
+	aborted chan struct{} // nil for implementations that can't abort
+	state   atomic.Int32
 }
 
 // pinned records one in-flight acquisition.
@@ -53,7 +75,9 @@ func NewSwitchableRWLock(name string, initial RWLock) *SwitchableRWLock {
 	s := &SwitchableRWLock{hookable: newHookable(name)}
 	ready := make(chan struct{})
 	close(ready)
-	s.slot = livepatch.NewSlot(&rwImpl{l: initial, ready: ready})
+	impl := &rwImpl{l: initial, ready: ready}
+	impl.state.Store(rwReady)
+	s.slot = livepatch.NewSlot(impl)
 	return s
 }
 
@@ -63,31 +87,74 @@ func (s *SwitchableRWLock) Current() RWLock { return s.slot.Peek().l }
 // Switches reports how many implementation switches have occurred.
 func (s *SwitchableRWLock) Switches() int64 { return s.switches.Load() }
 
+// Aborts reports how many switches were aborted at their drain deadline.
+func (s *SwitchableRWLock) Aborts() int64 { return s.aborts.Load() }
+
 // Switch atomically replaces the implementation. New acquisitions
 // target next immediately but block until every acquisition made on the
 // previous implementation has been released (so exclusion is continuous
 // across the switch); the returned patch's Wait observes the same drain
 // point.
 func (s *SwitchableRWLock) Switch(next RWLock) *livepatch.Patch {
-	s.switches.Add(1)
-	impl := &rwImpl{l: next, ready: make(chan struct{})}
-	patch := s.slot.Replace("switch:"+next.Name(), impl)
-	go func() {
-		patch.Wait()
-		close(impl.ready)
-	}()
+	patch, _ := s.switchBounded(next, 0)
 	return patch
 }
 
-func (s *SwitchableRWLock) pin(t *task.T, reader bool) *pinned {
-	impl, release := s.slot.Get()
-	<-impl.ready // wait out the drain of a just-displaced implementation
-	p := &pinned{impl: impl.l, release: release, reader: reader}
-	if _, loaded := s.held.LoadOrStore(t.ID(), p); loaded {
-		release.Release()
-		panic("locks: SwitchableRWLock does not support nested acquisition by one task")
+// SwitchTimeout is Switch with bounded-time degradation: if the old
+// implementation has not drained within d, the switch is aborted — the
+// lock stays on (rolls back to) the old implementation, acquirers
+// blocked behind the switch retry against it, and ErrSwitchAborted is
+// returned along with the rollback patch. A wedged critical section
+// then costs a bounded stall instead of wedging every future acquirer.
+func (s *SwitchableRWLock) SwitchTimeout(next RWLock, d time.Duration) (*livepatch.Patch, error) {
+	return s.switchBounded(next, d)
+}
+
+func (s *SwitchableRWLock) switchBounded(next RWLock, d time.Duration) (*livepatch.Patch, error) {
+	s.switches.Add(1)
+	impl := &rwImpl{l: next, ready: make(chan struct{}), aborted: make(chan struct{})}
+	patch := s.slot.Replace("switch:"+next.Name(), impl)
+	go func() {
+		patch.Wait()
+		if impl.state.CompareAndSwap(rwPending, rwReady) {
+			close(impl.ready)
+		}
+	}()
+	if d <= 0 {
+		return patch, nil
 	}
-	return p
+	if patch.WaitTimeout(d) {
+		return patch, nil
+	}
+	if !impl.state.CompareAndSwap(rwPending, rwAborted) {
+		return patch, nil // drain won the race after all
+	}
+	close(impl.aborted)
+	s.aborts.Add(1)
+	// Republish the old implementation; its ready channel is already
+	// closed, so retrying acquirers proceed on it immediately.
+	return patch.Rollback(), ErrSwitchAborted
+}
+
+func (s *SwitchableRWLock) pin(t *task.T, reader bool) *pinned {
+	for {
+		impl, release := s.slot.Get()
+		select {
+		case <-impl.ready:
+			// Previous implementation drained; impl is live.
+		case <-impl.aborted:
+			// Switch to impl was aborted; retry against the rolled-back
+			// implementation now in the slot.
+			release.Release()
+			continue
+		}
+		p := &pinned{impl: impl.l, release: release, reader: reader}
+		if _, loaded := s.held.LoadOrStore(t.ID(), p); loaded {
+			release.Release()
+			panic("locks: SwitchableRWLock does not support nested acquisition by one task")
+		}
+		return p
+	}
 }
 
 func (s *SwitchableRWLock) unpin(t *task.T, reader bool) *pinned {

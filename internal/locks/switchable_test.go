@@ -1,6 +1,7 @@
 package locks
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -138,6 +139,132 @@ func TestSwitchPreservesMutualExclusion(t *testing.T) {
 	if counter == 0 {
 		t.Error("no progress during switches")
 	}
+}
+
+func TestSwitchTimeoutSucceedsWhenDrained(t *testing.T) {
+	topo := testTopo()
+	s := NewSwitchableRWLock("sw", NewRWSem("old"))
+	next := NewRWSem("new")
+	p, err := s.SwitchTimeout(next, time.Second)
+	if err != nil {
+		t.Fatalf("uncontended bounded switch failed: %v", err)
+	}
+	p.Wait()
+	if s.Current() != RWLock(next) {
+		t.Fatal("lock not on the new implementation")
+	}
+	if s.Aborts() != 0 {
+		t.Errorf("Aborts = %d on a successful switch", s.Aborts())
+	}
+	tk := task.New(topo)
+	s.Lock(tk)
+	s.Unlock(tk)
+}
+
+func TestSwitchTimeoutAborts(t *testing.T) {
+	topo := testTopo()
+	old := NewRWSem("old")
+	s := NewSwitchableRWLock("sw", old)
+	holder := task.New(topo)
+	s.RLock(holder) // a wedged critical section pins the old implementation
+
+	rb, err := s.SwitchTimeout(NewPerSocketRWLock("new", topo), 15*time.Millisecond)
+	if !errors.Is(err, ErrSwitchAborted) {
+		t.Fatalf("err = %v, want ErrSwitchAborted", err)
+	}
+	if rb == nil {
+		t.Fatal("aborted switch returned no rollback patch")
+	}
+	if s.Aborts() != 1 {
+		t.Errorf("Aborts = %d, want 1", s.Aborts())
+	}
+	if s.Current() != RWLock(old) {
+		t.Fatal("aborted switch left the old implementation")
+	}
+
+	// An acquirer arriving after the abort must retry onto the rolled-back
+	// implementation and share the read lock with the wedged holder — a
+	// bounded stall, not a wedge behind the abandoned switch.
+	done := make(chan struct{})
+	go func() {
+		t2 := task.New(topo)
+		s.RLock(t2)
+		s.RUnlock(t2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("acquirer wedged behind the aborted switch")
+	}
+
+	// The rollback patch drains once nothing can observe the abandoned
+	// implementation; the wedged holder keeps the lock usable throughout.
+	rb.Wait()
+	s.RUnlock(holder)
+
+	// A later unbounded switch still lands: abort is per-attempt state,
+	// not a poisoned lock.
+	p := s.Switch(NewShflRWLock("s2"))
+	p.Wait()
+	tk, probe := task.New(topo), task.New(topo)
+	s.Lock(tk)
+	if old.TryLock(probe) {
+		old.Unlock(probe)
+	} else {
+		t.Error("writer still delegated to the rolled-back implementation")
+	}
+	s.Unlock(tk)
+}
+
+func TestSwitchTimeoutUnderLoad(t *testing.T) {
+	// Repeated bounded switches with aggressive deadlines against writer
+	// churn: some land, some abort at the deadline — exclusion and
+	// progress must hold through both outcomes.
+	topo := testTopo()
+	s := NewSwitchableRWLock("sw", NewRWSem("a"))
+	var inCS atomic.Int32
+	var counter atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Lock(tk)
+				if inCS.Add(1) != 1 {
+					t.Error("exclusion violated across bounded switch")
+				}
+				counter.Add(1)
+				runtime.Gosched()
+				inCS.Add(-1)
+				s.Unlock(tk)
+			}
+		}()
+	}
+	aborted := 0
+	for i := 0; i < 30; i++ {
+		if _, err := s.SwitchTimeout(NewRWSem("r"), 50*time.Microsecond); errors.Is(err, ErrSwitchAborted) {
+			aborted++
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if counter.Load() == 0 {
+		t.Error("no progress during bounded switches")
+	}
+	if int64(aborted) != s.Aborts() {
+		t.Errorf("abort accounting: returned %d, counter %d", aborted, s.Aborts())
+	}
+	t.Logf("aborted %d/30 bounded switches", aborted)
 }
 
 func TestSwitchableMisusePanics(t *testing.T) {

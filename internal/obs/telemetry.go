@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"concord/internal/faultinject"
 	"concord/internal/locks"
 	"concord/internal/profile"
 )
@@ -35,6 +36,15 @@ type Telemetry struct {
 	PoliciesLoaded   *Gauge
 	LocksRegistered  *Gauge
 	DrainLatency     *Histogram // livepatch epoch drain, ns
+
+	// Supervisor / robustness instruments (internal/core records these).
+	BreakerOpens     *Counter // breaker transitions closed/half-open -> open
+	Reattaches       *Counter // half-open probation re-attach attempts
+	BreakerCloses    *Counter // probations survived; breaker back to closed
+	Quarantines      *Counter // policies permanently quarantined
+	WatchdogTrips    *Counter // hook latency budget violations
+	DrainTimeouts    *Counter // livepatch drains that exceeded their deadline
+	TransitionAborts *Counter // attach/switch transitions aborted before commit
 
 	mu        sync.Mutex
 	lockStats map[string]*lockMetrics
@@ -80,6 +90,20 @@ func NewTelemetry() *Telemetry {
 			"Locks currently registered"),
 		DrainLatency: reg.Histogram("concord_livepatch_drain_ns",
 			"Livepatch epoch drain latency: patch publication to full quiescence of the old hooks"),
+		BreakerOpens: reg.Counter("concord_breaker_opens_total",
+			"Policy circuit breaker transitions to open (fault detach with retry pending)"),
+		Reattaches: reg.Counter("concord_reattaches_total",
+			"Half-open probation re-attach attempts after breaker backoff"),
+		BreakerCloses: reg.Counter("concord_breaker_closes_total",
+			"Probations survived: breaker returned to closed"),
+		Quarantines: reg.Counter("concord_quarantines_total",
+			"Policies permanently quarantined after exhausting retries or safety escalation"),
+		WatchdogTrips: reg.Counter("concord_watchdog_trips_total",
+			"Hook executions that exceeded the supervisor latency budget"),
+		DrainTimeouts: reg.Counter("concord_drain_timeouts_total",
+			"Livepatch drains that exceeded their deadline and were rolled back"),
+		TransitionAborts: reg.Counter("concord_transition_aborts_total",
+			"Attach/switch transitions aborted before commit"),
 		lockStats: make(map[string]*lockMetrics),
 		lockHooks: make(map[string]*locks.Hooks),
 	}
@@ -87,6 +111,14 @@ func NewTelemetry() *Telemetry {
 	reg.AddExternal(func(add func(Sample)) {
 		add(Sample{Name: "concord_trace_records_lost_total", Kind: KindCounter,
 			Value: float64(ring.Overwritten())})
+	})
+	reg.AddExternal(func(add func(Sample)) {
+		for _, s := range faultinject.Sites() {
+			if n := s.Fires(); n != 0 {
+				add(Sample{Name: "concord_faults_injected_total", Kind: KindCounter,
+					Labels: []string{"site", s.Name()}, Value: float64(n)})
+			}
+		}
 	})
 	return t
 }
@@ -191,6 +223,7 @@ func traceRecord(op profile.TraceOp, ev *locks.Event) profile.TraceRecord {
 type LockRow struct {
 	Lock         string `json:"lock"`
 	Policy       string `json:"policy,omitempty"`
+	Breaker      string `json:"breaker,omitempty"`
 	Acquisitions int64  `json:"acquisitions"`
 	Contentions  int64  `json:"contentions"`
 	Releases     int64  `json:"releases"`

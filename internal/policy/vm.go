@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"concord/internal/faultinject"
 )
 
 // ErrNotVerified is returned when executing a program that has not passed
@@ -64,6 +67,13 @@ func (VM) Exec(p *Program, ctx *Ctx, env Env) (uint64, error) {
 
 	st := &p.stats
 	st.Runs.Add(1)
+	if faultinject.PolicyTrap.Enabled() {
+		if flt, ok := faultinject.PolicyTrap.Fire(); ok {
+			st.Faults.Add(1)
+			return 0, &RuntimeError{Name: p.Name, PC: -1,
+				Msg: fmt.Sprintf("injected trap: %v", flt.Err)}
+		}
+	}
 	var steps int
 	defer func() { st.Insns.Add(int64(steps)) }()
 
@@ -336,8 +346,24 @@ func stackRegion(stack []byte, ptr rtVal, size int) ([]byte, error) {
 
 func execHelper(p *Program, h HelperID, regs *[NumRegs]rtVal, stack []byte, env Env) (rtVal, error) {
 	p.stats.HelperCalls.Add(1)
+	// Fault-injection sites, compiled to nil-checks when disarmed. Both
+	// the interpreter and native-compiled programs funnel helper calls
+	// through here, so one site covers both execution paths.
+	if faultinject.PolicyHelper.Enabled() {
+		if flt, ok := faultinject.PolicyHelper.Fire(); ok {
+			if flt.Delay > 0 {
+				time.Sleep(flt.Delay)
+			}
+			return rtVal{}, fmt.Errorf("helper %s: %w", h, flt.Err)
+		}
+	}
 	if h >= HelperMapLookup && h <= HelperMapAdd {
 		p.stats.MapOps.Add(1)
+		if faultinject.PolicyMapOp.Enabled() {
+			if flt, ok := faultinject.PolicyMapOp.Fire(); ok {
+				return rtVal{}, fmt.Errorf("map op %s: %w", h, flt.Err)
+			}
+		}
 	}
 	scalar := func(v uint64) rtVal { return rtVal{typ: tScalar, v: v} }
 	mapArg := func() (Map, int, error) {

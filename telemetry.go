@@ -34,6 +34,11 @@ type LockRow = obs.LockRow
 // PolicyRow is one loaded policy's summary (the /policies row).
 type PolicyRow = core.PolicyRow
 
+// HealthRow is one lock's robustness status (the /health and
+// `concordctl health` row): breaker state, fault/retry counts, and the
+// last trip reason.
+type HealthRow = core.HealthRow
+
 // TraceBuilder assembles Chrome/Perfetto trace-event JSON from lock
 // trace records and simulator slices.
 type TraceBuilder = obs.TraceBuilder
@@ -63,9 +68,9 @@ func WithTelemetry() Option {
 var ErrNoTelemetry = errors.New("concord: telemetry not enabled (use WithTelemetry)")
 
 // NewTelemetryServer builds the fully wired telemetry HTTP server for a
-// framework: /metrics (Prometheus text; ?format=json for JSON), /locks
-// and /policies (JSON rows), /trace (Perfetto-loadable timeline of the
-// telemetry trace ring), and /debug/pprof. Call Start to listen and
+// framework: /metrics (Prometheus text; ?format=json for JSON), /locks,
+// /policies, and /health (JSON rows), /trace (Perfetto-loadable timeline
+// of the telemetry trace ring), and /debug/pprof. Call Start to listen and
 // Close to stop; Handler embeds it into an existing server instead.
 func NewTelemetryServer(fw *Framework) (*TelemetryServer, error) {
 	tel := fw.Telemetry()
@@ -75,6 +80,7 @@ func NewTelemetryServer(fw *Framework) (*TelemetryServer, error) {
 	s := obs.NewServer(tel.Registry)
 	s.HandleJSON("/locks", func() (any, error) { return fw.LockRows(), nil })
 	s.HandleJSON("/policies", func() (any, error) { return fw.PolicyRows(), nil })
+	s.HandleJSON("/health", func() (any, error) { return fw.HealthRows(), nil })
 	s.HandleRaw("/trace", "application/json", func() ([]byte, error) {
 		return tel.TraceJSON(fw.LockNameByID)
 	})
