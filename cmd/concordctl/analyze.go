@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"concord"
+	"concord/internal/policy"
+	"concord/internal/policy/analysis"
+	"concord/internal/policydsl"
+)
+
+// cmdAnalyze runs the static analyzer over a policy source (.pol, which
+// may hold several programs) or a stored program (.json) and prints each
+// program's report: cost bound, value ranges, map footprint, safety
+// facts and warnings. For DSL sources, warnings are mapped back to
+// source lines. With -admit it exits non-zero when any program's cost
+// bound exceeds the hook budget — the same check Framework.Attach
+// enforces.
+func cmdAnalyze(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON reports")
+	budget := fs.Duration("budget", concord.DefaultHookBudget, "hook budget for -admit")
+	admit := fs.Bool("admit", false, "fail unless every program's cost bound fits -budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("analyze: one policy file required (.pol or .json)")
+	}
+	path := fs.Arg(0)
+
+	var progs []*policy.Program
+	var unit *policydsl.CompiledUnit
+	if strings.HasSuffix(path, ".json") {
+		prog, err := loadProgram(path)
+		if err != nil {
+			return err
+		}
+		progs = []*policy.Program{prog}
+	} else {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		unit, err = policydsl.CompileAndVerify(string(src))
+		if err != nil {
+			return err
+		}
+		progs = unit.Programs
+	}
+
+	var reports []*analysis.Report
+	for _, prog := range progs {
+		rep, err := analysis.Analyze(prog)
+		if err != nil {
+			return fmt.Errorf("analyze %q: %w", prog.Name, err)
+		}
+		reports = append(reports, rep)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range reports {
+			fmt.Fprint(stdout, rep.String())
+			if unit != nil {
+				// Map warning pcs back to DSL source lines.
+				for _, w := range rep.Warnings {
+					if line := unit.LineFor(rep.Program, w.PC); line > 0 {
+						fmt.Fprintf(stdout, "  source:        %s:%d: %s\n", path, line, w.Code)
+					}
+				}
+			}
+		}
+	}
+
+	if *admit {
+		for _, rep := range reports {
+			if rep.CostBound > int64(*budget) {
+				return fmt.Errorf("analyze: %q cost bound %dns exceeds hook budget %dns",
+					rep.Program, rep.CostBound, int64(*budget))
+			}
+		}
+		fmt.Fprintf(stdout, "admission: all %d program(s) within %v hook budget\n", len(reports), *budget)
+	}
+	return nil
+}

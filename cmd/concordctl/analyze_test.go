@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"concord/internal/policy/analysis"
+)
+
+const tracedSrc = `
+policy cmp_node noisy {
+    trace(ctx.queue_len);
+    return ctx.curr_socket == ctx.shuffler_socket;
+}
+`
+
+func TestAnalyzeDSL(t *testing.T) {
+	src := write(t, "noisy.pol", tracedSrc)
+	var out bytes.Buffer
+	if err := cmdAnalyze([]string{src}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"program \"noisy\"",
+		"cost bound:",
+		"trace-in-hot-hook",
+		// The warning maps back to source line 3 (the trace call).
+		":3: trace-in-hot-hook",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAnalyzeJSONAndStoredProgram(t *testing.T) {
+	// Assemble to JSON, then analyze the stored program with -json.
+	asm := write(t, "numa.s", numaAsm)
+	stored := filepath.Join(t.TempDir(), "numa.json")
+	if err := cmdAsm([]string{"-kind", "cmp_node", "-name", "numa", "-o", stored, asm}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := cmdAnalyze([]string{"-json", stored}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var reports []*analysis.Report
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 || reports[0].Program != "numa" || reports[0].CostBound <= 0 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if reports[0].Return.Lo != 0 || reports[0].Return.Hi != 1 {
+		t.Fatalf("numa return interval = %v", reports[0].Return)
+	}
+}
+
+func TestAnalyzeAdmit(t *testing.T) {
+	src := write(t, "ok.pol", `
+policy cmp_node cheap { return 1; }
+`)
+	var out bytes.Buffer
+	if err := cmdAnalyze([]string{"-admit", src}, &out); err != nil {
+		t.Fatalf("cheap policy failed admission: %v", err)
+	}
+	if !strings.Contains(out.String(), "admission: all 1 program(s)") {
+		t.Fatalf("no admission verdict:\n%s", out.String())
+	}
+
+	// A tight budget rejects even the cheap policy, with the bound in
+	// the error.
+	out.Reset()
+	err := cmdAnalyze([]string{"-admit", "-budget", "1ns", src}, &out)
+	if err == nil || !strings.Contains(err.Error(), "exceeds hook budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestShippedPoliciesPassAdmission is the CI gate in test form: every
+// .pol in policies/ must pass admission at the default hook budget.
+func TestShippedPoliciesPassAdmission(t *testing.T) {
+	dir := "../../policies"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("policies dir: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pol") {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			var out bytes.Buffer
+			if err := cmdAnalyze([]string{"-admit", filepath.Join(dir, e.Name())}, &out); err != nil {
+				t.Errorf("%s fails admission: %v", e.Name(), err)
+			}
+		})
+	}
+}

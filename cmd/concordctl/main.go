@@ -8,6 +8,7 @@
 //
 //	concordctl asm    -kind cmp_node -name numa -o numa.json [-map spec] file.s
 //	concordctl verify prog.json
+//	concordctl analyze [-json] [-budget 2µs] [-admit] file.pol
 //	concordctl disasm prog.json
 //	concordctl demo   [-policy numa|inheritance|scl] [-workers N] [-ops N]
 //	concordctl serve  [-addr host:port] [-policy P] [-duration 30s]
@@ -45,6 +46,8 @@ func main() {
 		err = cmdAsm(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:], os.Stdout)
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "demo":
@@ -80,6 +83,9 @@ commands:
   asm    -kind K -name N [-o out.json] [-map spec]... file.s
          assemble + verify a policy program
   verify prog.json     re-verify a stored program, print proof stats
+  analyze [-json] [-budget D] [-admit] file.pol|prog.json
+         static analysis: worst-case cost bound, value ranges, map
+         footprint, safety facts; -admit enforces the hook budget
   disasm prog.json     print a stored program as assembly
   demo   [-policy P] [-workers N] [-ops N]
          attach a policy to a live lock in-process and profile it

@@ -208,10 +208,16 @@ func scrapeLockRows(addr string) ([]concord.LockRow, error) {
 // printLockTable renders lock rows (already sorted most-waited-first).
 func printLockTable(w io.Writer, rows []concord.LockRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "LOCK\tPOLICY\tBRK\tACQ\tCONT\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
+	fmt.Fprintln(tw, "LOCK\tPOLICY\tCOST\tBRK\tACQ\tCONT\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
-			r.Lock, orDash(r.Policy), orDash(r.Breaker),
+		cost := "-"
+		if r.CostBoundNS > 0 {
+			// No rounding: static bounds are single-digit ns for cheap
+			// policies and would round to 0s.
+			cost = time.Duration(r.CostBoundNS).String()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			r.Lock, orDash(r.Policy), cost, orDash(r.Breaker),
 			r.Acquisitions, r.Contentions, r.ReadAcqs,
 			fmtDur(r.WaitTotalNS), fmtDur(r.WaitMeanNS), fmtDur(r.WaitP99NS),
 			fmtDur(r.HoldMeanNS), fmtDur(r.HoldMaxNS))

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"go/token"
+	"testing"
+
+	"concord/internal/vet"
+)
+
+// TestModuleIsVetClean is the CI gate in test form: the whole module —
+// test files included — must run concordvet-clean.
+func TestModuleIsVetClean(t *testing.T) {
+	fset := token.NewFileSet()
+	units, err := vet.Load(fset, []string{"../../..."}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 10 {
+		t.Fatalf("only %d package units loaded — walker broken?", len(units))
+	}
+	diags := vet.Run(&vet.Pass{Fset: fset, Units: units}, vet.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"concord/internal/livepatch"
 	"concord/internal/locks"
 	"concord/internal/policy"
+	"concord/internal/policy/analysis"
 	"concord/internal/policydsl"
 	"concord/internal/profile"
 	"concord/internal/syncx"
@@ -326,6 +327,38 @@ var (
 	// drain deadline passed; the lock stayed on the old implementation.
 	ErrSwitchAborted = locks.ErrSwitchAborted
 )
+
+// --- Static analysis & admission ---
+
+// AnalysisReport is one program's static-analysis report: worst-case
+// cost bound, per-register value ranges, map footprint and safety facts.
+// Framework.LoadPolicy computes one per program; `concordctl analyze`
+// prints them.
+type AnalysisReport = analysis.Report
+
+// AnalysisWarning is one analysis finding (e.g. trace helper on a hot
+// hook, decision outside the hook's meaningful range).
+type AnalysisWarning = analysis.Warning
+
+// Interval is the analysis value-range domain ([lo,hi] over int64).
+type Interval = analysis.Interval
+
+// Analysis toolchain, re-exported.
+var (
+	// AnalyzeProgram runs the abstract interpreter over a (verified)
+	// program and returns its report.
+	AnalyzeProgram = analysis.Analyze
+	// MaxAnalysisCost is the max cost bound across a report set — the
+	// number admission control compares against the hook budget.
+	MaxAnalysisCost = analysis.MaxCost
+	// ErrCostBudget is returned by Attach when the policy's static cost
+	// bound exceeds the hook budget (see SupervisorConfig.HookBudget).
+	ErrCostBudget = core.ErrCostBudget
+)
+
+// DefaultHookBudget is the admission budget used when
+// SupervisorConfig.HookBudget is zero.
+const DefaultHookBudget = core.DefaultHookBudget
 
 // FaultSite is one named fault-injection point (e.g. "policy.helper");
 // FaultConfig arms it, FaultPlan arms a whole set from one seed — the

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"concord/internal/locks"
+	"concord/internal/policy"
+	"concord/internal/policy/analysis"
+)
+
+// expensiveProgram builds a verified program whose static cost bound
+// exceeds DefaultHookBudget (2µs): ~3000 ALU instructions of straight
+// line is a ~3µs bound under the cost model.
+func expensiveProgram(t testing.TB) *policy.Program {
+	t.Helper()
+	b := policy.NewBuilder("hog", policy.KindCmpNode)
+	b.MovImm(policy.R0, 0)
+	for i := 0; i < 3000; i++ {
+		b.AddImm(policy.R0, 1)
+	}
+	b.MovImm(policy.R0, 1)
+	b.Exit()
+	return b.MustProgram()
+}
+
+func TestLoadPolicyComputesAnalysis(t *testing.T) {
+	f := newFramework()
+	p, err := f.LoadPolicy("numa", numaCmpProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := p.Analysis[policy.KindCmpNode]
+	if rep == nil {
+		t.Fatal("LoadPolicy left no analysis report")
+	}
+	if rep.CostBound <= 0 || rep.CostBound > int64(DefaultHookBudget) {
+		t.Fatalf("numa cost bound = %dns, want within (0, %dns]", rep.CostBound, int64(DefaultHookBudget))
+	}
+	if p.CostBound() != rep.CostBound {
+		t.Fatalf("Policy.CostBound() = %d, report says %d", p.CostBound(), rep.CostBound)
+	}
+}
+
+func TestAttachRejectsOverBudgetPolicy(t *testing.T) {
+	f := newFramework()
+	if err := f.RegisterLock(locks.NewShflLock("l")); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := f.LoadPolicy("hog", expensiveProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := pol.CostBound()
+	if bound <= int64(DefaultHookBudget) {
+		t.Fatalf("test program bound %dns not above default budget %dns", bound, int64(DefaultHookBudget))
+	}
+
+	_, err = f.Attach("l", "hog")
+	if !errors.Is(err, ErrCostBudget) {
+		t.Fatalf("Attach = %v, want ErrCostBudget", err)
+	}
+	// The bound must be in the error so the operator sees the proof.
+	if !strings.Contains(err.Error(), "ns") || !strings.Contains(err.Error(), "hog") {
+		t.Fatalf("admission error lacks bound/policy: %v", err)
+	}
+
+	// Raising the budget admits it.
+	f.SetSupervisorConfig(SupervisorConfig{HookBudget: time.Duration(bound+1) * time.Nanosecond})
+	att, err := f.Attach("l", "hog")
+	if err != nil {
+		t.Fatalf("Attach with raised budget: %v", err)
+	}
+	att.Wait()
+
+	// Negative budget disables admission entirely.
+	f.SetSupervisorConfig(SupervisorConfig{HookBudget: -1})
+	if _, err := f.Attach("l", "hog"); err != nil {
+		t.Fatalf("Attach with admission disabled: %v", err)
+	}
+}
+
+func TestAttachAdmitsShippedStylePolicy(t *testing.T) {
+	f := newFramework()
+	if err := f.RegisterLock(locks.NewShflLock("l")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadPolicy("numa", numaCmpProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	att, err := f.Attach("l", "numa")
+	if err != nil {
+		t.Fatalf("numa rejected at default budget: %v", err)
+	}
+	att.Wait()
+	if att.CostBound() <= 0 {
+		t.Fatalf("attachment cost bound = %d, want > 0", att.CostBound())
+	}
+}
+
+func TestDerivedWatchdogBudget(t *testing.T) {
+	f := newFramework()
+	if err := f.RegisterLock(locks.NewShflLock("l")); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := f.LoadPolicy("hog", expensiveProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := pol.CostBound()
+
+	// WatchdogScale with no explicit LatencyBudget derives k × bound.
+	f.SetSupervisorConfig(SupervisorConfig{HookBudget: -1, WatchdogScale: 100})
+	att, err := f.Attach("l", "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Wait()
+	want := 100 * time.Duration(bound) // ~300µs, above the floor
+	if got := att.WatchdogBudget(); got != want {
+		t.Fatalf("derived watchdog budget = %v, want %v (100 × %dns)", got, want, bound)
+	}
+
+	// Explicit LatencyBudget is the runtime override: it always wins.
+	f.SetSupervisorConfig(SupervisorConfig{
+		HookBudget: -1, WatchdogScale: 100, LatencyBudget: 7 * time.Millisecond,
+	})
+	att2, err := f.Attach("l", "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att2.Wait()
+	if got := att2.WatchdogBudget(); got != 7*time.Millisecond {
+		t.Fatalf("watchdog budget = %v, want the explicit 7ms override", got)
+	}
+
+	// A cheap policy's derived budget is floored out of scheduler noise.
+	if _, err := f.LoadPolicy("numa", numaCmpProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	f.SetSupervisorConfig(SupervisorConfig{WatchdogScale: 2})
+	att3, err := f.Attach("l", "numa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att3.Wait()
+	if got := att3.WatchdogBudget(); got != derivedWatchdogFloor {
+		t.Fatalf("floored watchdog budget = %v, want %v", got, derivedWatchdogFloor)
+	}
+
+	// No scale, no explicit budget: watchdog stays off (legacy zero
+	// config).
+	f.SetSupervisorConfig(SupervisorConfig{})
+	att4, err := f.Attach("l", "numa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att4.Wait()
+	if got := att4.WatchdogBudget(); got != 0 {
+		t.Fatalf("zero-config watchdog budget = %v, want disabled", got)
+	}
+}
+
+func TestAttachPatchCarriesAnalysisAnnotation(t *testing.T) {
+	f := newFramework()
+	if err := f.RegisterLock(locks.NewShflLock("l")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadPolicy("numa", numaCmpProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	att, err := f.Attach("l", "numa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Wait()
+	att.sup.mu.Lock()
+	patch := att.sup.patch
+	att.sup.mu.Unlock()
+	reports, ok := patch.Annotation().(map[policy.Kind]*analysis.Report)
+	if !ok {
+		t.Fatalf("patch annotation = %T, want analysis report map", patch.Annotation())
+	}
+	if reports[policy.KindCmpNode] == nil || reports[policy.KindCmpNode].CostBound <= 0 {
+		t.Fatalf("annotation reports = %+v", reports)
+	}
+}
+
+func TestComposeCopiesAnalysis(t *testing.T) {
+	f := newFramework()
+	if _, err := f.LoadPolicy("numa", numaCmpProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	countProg := policy.NewBuilder("count", policy.KindLockAcquire).
+		MovImm(policy.R0, 0).Exit().MustProgram()
+	if _, err := f.LoadPolicy("count", countProg); err != nil {
+		t.Fatal(err)
+	}
+	combo, err := f.Compose("combo", "numa", "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combo.Analysis[policy.KindCmpNode] == nil || combo.Analysis[policy.KindLockAcquire] == nil {
+		t.Fatalf("composed analysis = %+v", combo.Analysis)
+	}
+}

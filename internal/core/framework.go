@@ -22,12 +22,14 @@ import (
 	"path"
 	"sort"
 	"sync"
+	"time"
 
 	"concord/internal/faultinject"
 	"concord/internal/livepatch"
 	"concord/internal/locks"
 	"concord/internal/obs"
 	"concord/internal/policy"
+	"concord/internal/policy/analysis"
 	"concord/internal/profile"
 	"concord/internal/topology"
 )
@@ -42,6 +44,10 @@ var (
 	ErrDuplicateKind   = errors.New("concord: policy has two programs of the same kind")
 	ErrPolicyConflict  = errors.New("concord: policies conflict")
 	ErrNothingAttached = errors.New("concord: nothing attached")
+	// ErrCostBudget rejects an Attach whose policy's static worst-case
+	// cost bound exceeds the hook budget — admission control from proven
+	// bounds instead of quarantine-after-trip.
+	ErrCostBudget = errors.New("concord: policy static cost bound exceeds hook budget")
 )
 
 // Policy is a named, verified set of hook programs (and/or a native Go
@@ -51,7 +57,16 @@ type Policy struct {
 	Programs map[policy.Kind]*policy.Program
 	Native   *locks.Hooks
 	Verify   map[policy.Kind]policy.VerifyStats
+	// Analysis holds the static-analysis report per program, computed at
+	// load time: cost bounds, value ranges, map footprint, safety facts.
+	// Native policies have none (nothing to analyze).
+	Analysis map[policy.Kind]*analysis.Report
 }
+
+// CostBound returns the policy's static worst-case cost bound in
+// nanoseconds — the maximum over its programs' bounds, 0 for native
+// policies (unanalyzable, admitted on trust like any Go code).
+func (p *Policy) CostBound() int64 { return analysis.MaxCost(p.Analysis) }
 
 // Kinds lists the hook kinds this policy provides (programs and native).
 func (p *Policy) Kinds() []policy.Kind {
@@ -114,6 +129,15 @@ func (a *Attachment) Retries() int { return a.sup.Retries() }
 
 // Quarantined reports whether the policy is permanently detached.
 func (a *Attachment) Quarantined() bool { return a.sup.State() == BreakerQuarantined }
+
+// CostBound returns the attached policy's static worst-case cost bound
+// in nanoseconds (0 for native policies, which carry no analysis).
+func (a *Attachment) CostBound() int64 { return a.sup.costBound }
+
+// WatchdogBudget reports the latency-watchdog budget this attachment's
+// hooks run under: the explicit LatencyBudget when configured, else
+// WatchdogScale × the static cost bound (with a floor), else 0 (off).
+func (a *Attachment) WatchdogBudget() time.Duration { return a.sup.latencyBudget() }
 
 // lockState is the framework's view of one registered lock.
 type lockState struct {
@@ -238,6 +262,7 @@ func (f *Framework) LoadPolicy(name string, progs ...*policy.Program) (*Policy, 
 		Name:     name,
 		Programs: make(map[policy.Kind]*policy.Program, len(progs)),
 		Verify:   make(map[policy.Kind]policy.VerifyStats, len(progs)),
+		Analysis: make(map[policy.Kind]*analysis.Report, len(progs)),
 	}
 	for _, prog := range progs {
 		if _, dup := p.Programs[prog.Kind]; dup {
@@ -247,8 +272,13 @@ func (f *Framework) LoadPolicy(name string, progs ...*policy.Program) (*Policy, 
 		if err != nil {
 			return nil, err
 		}
+		rep, err := analysis.Analyze(prog)
+		if err != nil {
+			return nil, fmt.Errorf("concord: analyzing %s: %w", prog.Name, err)
+		}
 		p.Programs[prog.Kind] = prog
 		p.Verify[prog.Kind] = stats
+		p.Analysis[prog.Kind] = rep
 	}
 	return p, f.addPolicy(p)
 }
@@ -317,10 +347,12 @@ func (f *Framework) Compose(name, first, second string) (*Policy, error) {
 		Name:     name,
 		Programs: make(map[policy.Kind]*policy.Program),
 		Verify:   make(map[policy.Kind]policy.VerifyStats),
+		Analysis: make(map[policy.Kind]*analysis.Report),
 	}
 	for k, prog := range a.Programs {
 		p.Programs[k] = prog
 		p.Verify[k] = a.Verify[k]
+		p.Analysis[k] = a.Analysis[k]
 	}
 	for k, prog := range b.Programs {
 		if _, dup := p.Programs[k]; dup {
@@ -328,6 +360,7 @@ func (f *Framework) Compose(name, first, second string) (*Policy, error) {
 		}
 		p.Programs[k] = prog
 		p.Verify[k] = b.Verify[k]
+		p.Analysis[k] = b.Analysis[k]
 	}
 	p.Native = locks.ComposeHooks(a.Native, b.Native)
 	return p, f.addPolicy(p)
@@ -348,6 +381,17 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 	if !ok {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchPolicy, policyName)
+	}
+
+	// Admission control (Figure 1 step 5, strengthened): the static
+	// worst-case cost bound must fit the hook budget, or the attach is
+	// rejected up front — before any hook table changes — rather than
+	// letting the watchdog quarantine the policy after user-visible harm.
+	bound := p.CostBound()
+	if budget := f.supCfg.hookBudget(); budget > 0 && bound > int64(budget) {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s bound %dns > budget %dns on %s",
+			ErrCostBudget, policyName, bound, int64(budget), lockName)
 	}
 
 	// Injected transition abort (livepatch.abort site): the attach fails
@@ -371,6 +415,7 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 	// configuration permitting, re-attaches after backoff.
 	sup := &supervisor{
 		f: f, st: st, lockName: lockName, policyName: policyName, cfg: f.supCfg,
+		costBound: bound,
 	}
 	att := &Attachment{Lock: lockName, Policy: policyName, sup: sup}
 	sup.att = att
@@ -394,6 +439,11 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 		r.ResetSafety()
 	}
 	patch := slot.Replace(policyName, hooks)
+	if len(p.Analysis) > 0 {
+		// The attach patch carries the analysis reports: the installed
+		// artifact records the proof it was admitted under.
+		patch.SetAnnotation(p.Analysis)
+	}
 	sup.setPatch(patch)
 	sup.watchDrain(patch, tel)
 	return att, nil

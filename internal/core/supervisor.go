@@ -90,6 +90,36 @@ type SupervisorConfig struct {
 	// this many lock runtime safety checks have tripped, regardless of
 	// remaining retries (the starvation/queue-conservation escalation).
 	SafetyTripLimit int
+	// HookBudget is the admission budget: Attach rejects a policy whose
+	// static worst-case cost bound exceeds it. 0 applies
+	// DefaultHookBudget; negative disables admission control.
+	HookBudget time.Duration
+	// WatchdogScale, when > 0 and LatencyBudget is unset, arms the
+	// latency watchdog at WatchdogScale × the attached policy's static
+	// cost bound (never below derivedWatchdogFloor). An explicit
+	// LatencyBudget always wins — the runtime override.
+	WatchdogScale int
+}
+
+// DefaultHookBudget is the admission budget applied when
+// SupervisorConfig.HookBudget is zero: generous against every shipped
+// policy (they bound in the hundreds of nanoseconds) while rejecting
+// pathological programs before they ever run on the lock's hot path.
+const DefaultHookBudget = 2 * time.Microsecond
+
+// derivedWatchdogFloor keeps derived watchdog budgets out of scheduler
+// noise: the static bound models native-compiled straight-line cost, and
+// a few hundred nanoseconds of slack would trip on any preemption.
+const derivedWatchdogFloor = 100 * time.Microsecond
+
+func (c SupervisorConfig) hookBudget() time.Duration {
+	if c.HookBudget < 0 {
+		return 0 // admission disabled
+	}
+	if c.HookBudget > 0 {
+		return c.HookBudget
+	}
+	return DefaultHookBudget
 }
 
 func (c SupervisorConfig) initialBackoff() time.Duration {
@@ -146,6 +176,10 @@ type supervisor struct {
 	lockName   string
 	policyName string
 	cfg        SupervisorConfig
+	// costBound is the policy's static worst-case cost bound (ns) from
+	// load-time analysis, written once in Attach before the supervisor is
+	// shared; the derived latency watchdog budget scales from it.
+	costBound int64
 
 	// faults aggregates policy faults across all adapters (attach
 	// attempts) of this attachment.
@@ -370,10 +404,27 @@ func (s *supervisor) probationEnd() {
 // newAdapter builds the hook adapter for one attach attempt, wired to
 // the supervisor: every fault bumps the aggregate counters, and the
 // first fault of the attempt trips the breaker.
+// latencyBudget resolves the watchdog budget for this attachment: the
+// explicit LatencyBudget when configured, otherwise WatchdogScale × the
+// static cost bound (floored at derivedWatchdogFloor), otherwise 0.
+func (s *supervisor) latencyBudget() time.Duration {
+	if s.cfg.LatencyBudget > 0 {
+		return s.cfg.LatencyBudget
+	}
+	if s.cfg.WatchdogScale > 0 && s.costBound > 0 {
+		d := time.Duration(s.costBound) * time.Duration(s.cfg.WatchdogScale)
+		if d < derivedWatchdogFloor {
+			d = derivedWatchdogFloor
+		}
+		return d
+	}
+	return 0
+}
+
 func newAdapter(f *Framework, sup *supervisor) *adapter {
 	ad := &adapter{
 		policyName:    sup.policyName,
-		latencyBudget: sup.cfg.LatencyBudget,
+		latencyBudget: sup.latencyBudget(),
 	}
 	ad.countFault = func() {
 		sup.faults.Add(1)

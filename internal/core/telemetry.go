@@ -138,9 +138,13 @@ func (f *Framework) LockRows() []obs.LockRow {
 	f.mu.Lock()
 	tel := f.tel
 	attached := make(map[string]string, len(f.locks))
+	costs := make(map[string]int64, len(f.locks))
 	for name, st := range f.locks {
 		if st.attached != nil {
 			attached[name] = st.attached.Policy
+			if p := f.policies[st.attached.Policy]; p != nil {
+				costs[name] = p.CostBound()
+			}
 		}
 	}
 	f.mu.Unlock()
@@ -152,6 +156,7 @@ func (f *Framework) LockRows() []obs.LockRow {
 	for i := range rows {
 		rows[i].Policy = attached[rows[i].Lock]
 		rows[i].Breaker = breakers[rows[i].Lock]
+		rows[i].CostBoundNS = costs[rows[i].Lock]
 	}
 	return rows
 }
@@ -161,6 +166,7 @@ type PolicyRow struct {
 	Name        string   `json:"name"`
 	Kinds       []string `json:"kinds"`
 	Native      bool     `json:"native,omitempty"`
+	CostBoundNS int64    `json:"cost_bound_ns,omitempty"`
 	AttachedTo  []string `json:"attached_to,omitempty"`
 	Runs        int64    `json:"vm_runs"`
 	Insns       int64    `json:"vm_instructions"`
@@ -176,7 +182,7 @@ func (f *Framework) PolicyRows() []PolicyRow {
 	defer f.mu.Unlock()
 	rows := make([]PolicyRow, 0, len(f.policies))
 	for name, p := range f.policies {
-		row := PolicyRow{Name: name, Native: p.Native != nil}
+		row := PolicyRow{Name: name, Native: p.Native != nil, CostBoundNS: p.CostBound()}
 		for _, k := range p.Kinds() {
 			row.Kinds = append(row.Kinds, k.String())
 		}

@@ -151,10 +151,30 @@ type Patch struct {
 	done     chan struct{} // drain completion; nil when nothing drained
 	rollback func() *Patch
 	name     string
+
+	annMu      sync.Mutex
+	annotation any
 }
 
 // Name reports the label given at Replace time.
 func (p *Patch) Name() string { return p.name }
+
+// SetAnnotation attaches caller metadata to the patch — Concord records
+// the policy's static-analysis reports on the attach patch so the
+// installed artifact carries its own proof. The kernel analogue is the
+// metadata blob a livepatch module ships alongside its code.
+func (p *Patch) SetAnnotation(v any) {
+	p.annMu.Lock()
+	p.annotation = v
+	p.annMu.Unlock()
+}
+
+// Annotation returns the metadata set by SetAnnotation, or nil.
+func (p *Patch) Annotation() any {
+	p.annMu.Lock()
+	defer p.annMu.Unlock()
+	return p.annotation
+}
 
 // Wait blocks until every Get that returned the *previous* value has
 // released it — the livepatch consistency point. After Wait, no code is

@@ -409,3 +409,22 @@ func TestShadowStoreConcurrentGetOrAlloc(t *testing.T) {
 		}
 	}
 }
+
+func TestPatchAnnotation(t *testing.T) {
+	s := NewSlot(new(int))
+	p := s.Replace("with-report", new(int))
+	if p.Annotation() != nil {
+		t.Fatal("fresh patch has an annotation")
+	}
+	type report struct{ Bound int64 }
+	p.SetAnnotation(&report{Bound: 42})
+	got, ok := p.Annotation().(*report)
+	if !ok || got.Bound != 42 {
+		t.Fatalf("Annotation() = %#v", p.Annotation())
+	}
+	// Replacing the annotation is allowed (last writer wins).
+	p.SetAnnotation(&report{Bound: 7})
+	if p.Annotation().(*report).Bound != 7 {
+		t.Fatal("annotation not replaced")
+	}
+}

@@ -221,10 +221,13 @@ func traceRecord(op profile.TraceOp, ev *locks.Event) profile.TraceRecord {
 // LockRow is one lock's aggregated telemetry, the unit of the /locks
 // endpoint and `concordctl top`.
 type LockRow struct {
-	Lock         string `json:"lock"`
-	Policy       string `json:"policy,omitempty"`
-	Breaker      string `json:"breaker,omitempty"`
-	Acquisitions int64  `json:"acquisitions"`
+	Lock    string `json:"lock"`
+	Policy  string `json:"policy,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
+	// CostBoundNS is the attached policy's static worst-case cost bound
+	// (max across its programs), filled by core from the analysis report.
+	CostBoundNS  int64 `json:"cost_bound_ns,omitempty"`
+	Acquisitions int64 `json:"acquisitions"`
 	Contentions  int64  `json:"contentions"`
 	Releases     int64  `json:"releases"`
 	ReadAcqs     int64  `json:"read_acquisitions"`

@@ -1,0 +1,120 @@
+package analysis
+
+import "concord/internal/policy"
+
+// The cost model. Units are calibrated so one unit approximates one
+// nanosecond of worst-case execution on a modern x86 core running the
+// native-compiled program (the interpreter is a small constant factor
+// slower; admission budgets absorb it). The absolute scale matters less
+// than the invariant the model preserves: costs are upper bounds, so
+// the longest-path sum is a true worst-case bound for the loop-free
+// programs the verifier admits.
+//
+// Per-instruction base costs.
+const (
+	CostALU  int64 = 1 // register ALU, mov, neg
+	CostJump int64 = 1 // ja and conditional jumps
+	CostMem  int64 = 2 // stack/ctx/map-value loads and stores
+	CostLdMap int64 = 1 // materializing a map reference
+	CostExit int64 = 1
+	// CostCallBase is the helper dispatch overhead (argument marshal,
+	// indirect call) added to every helper's own cost.
+	CostCallBase int64 = 10
+)
+
+// HelperCosts is the per-helper worst-case cost, added to CostCallBase
+// per call. Map mutation is priced above lookup (bucket locking /
+// publication), hashes above arrays, and environment probes near their
+// syscall-free implementations. concordvet's helperdrift analyzer
+// checks this table stays exhaustive over the HelperID enum.
+var HelperCosts = map[policy.HelperID]int64{
+	policy.HelperMapLookup: 30,
+	policy.HelperMapUpdate: 45,
+	policy.HelperMapDelete: 35,
+	policy.HelperMapAdd:    20,
+	policy.HelperKtimeNS:   20,
+	policy.HelperCPU:       5,
+	policy.HelperNUMANode:  5,
+	policy.HelperTaskID:    5,
+	policy.HelperTaskPrio:  5,
+	policy.HelperRand:      10,
+	policy.HelperTrace:     15,
+}
+
+// insnCost is the cost of one non-call, non-jump instruction.
+func insnCost(op policy.Op) int64 {
+	switch {
+	case op == policy.OpExit:
+		return CostExit
+	case op == policy.OpLoadMapPtr:
+		return CostLdMap
+	case op.IsLoad() || op.IsStore():
+		return CostMem
+	default:
+		return CostALU
+	}
+}
+
+// costBounds computes the worst-case cost, the longest instruction
+// path, and the maximum helper-call count over all paths from the entry
+// of a verified (forward-jump-only, hence DAG) program. Unreachable
+// instructions (states[pc].live == false) contribute nothing.
+//
+// The recurrence runs in reverse pc order: every successor of pc is
+// > pc, so cost[pc] can max over already-computed successors — a
+// longest-path dynamic program, exact for DAGs.
+func costBounds(p *policy.Program, states []absState) (cost int64, path, helpers int) {
+	n := len(p.Insns)
+	costs := make([]int64, n)
+	paths := make([]int, n)
+	calls := make([]int, n)
+
+	for pc := n - 1; pc >= 0; pc-- {
+		if !states[pc].live {
+			continue
+		}
+		in := p.Insns[pc]
+		succ := func(to int) (int64, int, int) {
+			if to >= n {
+				return 0, 0, 0
+			}
+			return costs[to], paths[to], calls[to]
+		}
+		switch {
+		case in.Op == policy.OpExit:
+			costs[pc], paths[pc], calls[pc] = CostExit, 1, 0
+
+		case in.Op == policy.OpCall:
+			c, pl, hc := succ(pc + 1)
+			costs[pc] = CostCallBase + HelperCosts[policy.HelperID(in.Imm)] + c
+			paths[pc] = 1 + pl
+			calls[pc] = 1 + hc
+
+		case in.Op == policy.OpJa:
+			c, pl, hc := succ(pc + 1 + int(in.Off))
+			costs[pc] = CostJump + c
+			paths[pc] = 1 + pl
+			calls[pc] = hc
+
+		case in.Op.IsCondJump():
+			c1, p1, h1 := succ(pc + 1)
+			c2, p2, h2 := succ(pc + 1 + int(in.Off))
+			costs[pc] = CostJump + max64(c1, c2)
+			if p2 > p1 {
+				p1 = p2
+			}
+			paths[pc] = 1 + p1
+			if h2 > h1 {
+				h1 = h2
+			}
+			calls[pc] = h1
+
+		default:
+			c, pl, hc := succ(pc + 1)
+			costs[pc] = insnCost(in.Op) + c
+			paths[pc] = 1 + pl
+			calls[pc] = hc
+		}
+	}
+	return costs[0], paths[0], calls[0]
+}

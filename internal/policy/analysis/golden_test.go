@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"concord/internal/policydsl"
+)
+
+var update = flag.Bool("update", false, "rewrite golden analysis reports under testdata/")
+
+// TestGoldenReports pins the analyzer's output for every shipped policy
+// in policies/. A cost-model or domain change that shifts any bound,
+// interval, footprint or warning shows up as a golden diff — rerun with
+// `go test ./internal/policy/analysis -run Golden -update` after
+// reviewing the new numbers.
+func TestGoldenReports(t *testing.T) {
+	dir := filepath.Join("..", "..", "..", "policies")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("policies dir: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pol") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit, err := policydsl.CompileAndVerify(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		golden := filepath.Join("testdata", strings.TrimSuffix(e.Name(), ".pol")+".golden.json")
+		seen[filepath.Base(golden)] = true
+		t.Run(e.Name(), func(t *testing.T) {
+			// One golden file per .pol source, covering every program
+			// in it, sorted by name for stability.
+			var reports []*Report
+			for _, prog := range unit.Programs {
+				rep, err := Analyze(prog)
+				if err != nil {
+					t.Fatalf("analyze %q: %v", prog.Name, err)
+				}
+				reports = append(reports, rep)
+			}
+			sort.Slice(reports, func(i, j int) bool { return reports[i].Program < reports[j].Program })
+			got, err := json.MarshalIndent(reports, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("analysis report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+
+	// Stale goldens (a policy was removed or renamed) fail too.
+	if !*update {
+		files, _ := filepath.Glob(filepath.Join("testdata", "*.golden.json"))
+		for _, f := range files {
+			if !seen[filepath.Base(f)] {
+				t.Errorf("stale golden %s has no matching policy", f)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,8 +54,12 @@ func (h HelperID) String() string {
 	return "helper(?)"
 }
 
-// HelperByName resolves a helper by its assembler name.
+// HelperByName resolves a helper by its assembler name. Matching is
+// case-insensitive: the assembler lower-cases mnemonics but used to pass
+// operands through verbatim, so `call KTIME_NS` failed while
+// `call ktime_ns` worked. Normalizing here fixes every caller at once.
 func HelperByName(name string) (HelperID, bool) {
+	name = strings.ToLower(name)
 	for id, n := range helperNames {
 		if n == name {
 			return id, true

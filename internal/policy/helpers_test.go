@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestHelperNameRoundTrip: every helper's String() name resolves back
+// to the same ID through HelperByName, in any casing — the assembler
+// lower-cases mnemonics, and helper operands must not be pickier.
+func TestHelperNameRoundTrip(t *testing.T) {
+	for h := HelperID(1); h < numHelpers; h++ {
+		name := h.String()
+		if name == "helper(?)" {
+			t.Fatalf("helper %d has no name", h)
+		}
+		for _, variant := range []string{name, strings.ToUpper(name), strings.Title(name)} {
+			got, ok := HelperByName(variant)
+			if !ok || got != h {
+				t.Errorf("HelperByName(%q) = %v, %v; want %v, true", variant, got, ok, h)
+			}
+		}
+	}
+	if _, ok := HelperByName("no_such_helper"); ok {
+		t.Error("HelperByName accepted an unknown name")
+	}
+}
+
+// TestAssembleHelperCaseInsensitive: `call KTIME_NS` assembles the same
+// program as `call ktime_ns`, for every helper.
+func TestAssembleHelperCaseInsensitive(t *testing.T) {
+	for h := HelperID(1); h < numHelpers; h++ {
+		spec := helperSpecs[h]
+		if len(spec.args) > 0 {
+			continue // zero-arg helpers are enough to exercise name resolution
+		}
+		src := fmt.Sprintf("call %s\nexit\n", strings.ToUpper(h.String()))
+		prog, err := Assemble("t", KindLockAcquired, src, nil)
+		if err != nil {
+			t.Errorf("assemble %q: %v", strings.ToUpper(h.String()), err)
+			continue
+		}
+		if prog.Insns[0].Op != OpCall || HelperID(prog.Insns[0].Imm) != h {
+			t.Errorf("call %s assembled to %v", h, prog.Insns[0])
+		}
+	}
+}
+
+// TestHelperSpecsSelfConsistent: each spec's embedded id and name match
+// its table key (helperdrift checks coverage; this checks content).
+func TestHelperSpecsSelfConsistent(t *testing.T) {
+	for id, spec := range helperSpecs {
+		if spec.id != id {
+			t.Errorf("helperSpecs[%v].id = %v", id, spec.id)
+		}
+		if spec.name != helperNames[id] {
+			t.Errorf("helperSpecs[%v].name = %q, helperNames has %q", id, spec.name, helperNames[id])
+		}
+	}
+	if len(helperSpecs) != int(numHelpers)-1 || len(helperNames) != int(numHelpers)-1 {
+		t.Errorf("table sizes: specs=%d names=%d enum=%d", len(helperSpecs), len(helperNames), int(numHelpers)-1)
+	}
+}

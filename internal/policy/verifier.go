@@ -5,20 +5,53 @@ import (
 )
 
 // VerifyError describes why a program was rejected, pointing at the
-// offending instruction.
+// offending instruction and showing the surrounding disassembly.
 type VerifyError struct {
-	Name string
-	PC   int
-	Insn Instruction
-	Msg  string
+	Name   string
+	PC     int
+	Insn   Instruction
+	Msg    string
+	Window []string // disassembly of pc-1..pc+1, offender marked
 }
 
-// Error implements error.
+// Error implements error. The one-line diagnosis comes first (so
+// substring matching on the reason keeps working); the disassembly
+// window follows on its own lines.
 func (e *VerifyError) Error() string {
+	var head string
 	if e.PC < 0 {
-		return fmt.Sprintf("verifier: program %q: %s", e.Name, e.Msg)
+		head = fmt.Sprintf("verifier: program %q: %s", e.Name, e.Msg)
+	} else {
+		head = fmt.Sprintf("verifier: program %q: pc %d (%s): %s", e.Name, e.PC, e.Insn, e.Msg)
 	}
-	return fmt.Sprintf("verifier: program %q: pc %d (%s): %s", e.Name, e.PC, e.Insn, e.Msg)
+	for _, line := range e.Window {
+		head += "\n" + line
+	}
+	return head
+}
+
+// disasmWindow renders the instructions around pc — one before through
+// one after — marking the offender, for inclusion in verifier rejects.
+func disasmWindow(p *Program, pc int) []string {
+	if pc < 0 || pc >= len(p.Insns) {
+		return nil
+	}
+	lo, hi := pc-1, pc+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(p.Insns) {
+		hi = len(p.Insns) - 1
+	}
+	var out []string
+	for i := lo; i <= hi; i++ {
+		marker := "   "
+		if i == pc {
+			marker = " → "
+		}
+		out = append(out, fmt.Sprintf("%s%3d: %s", marker, i, p.Insns[i]))
+	}
+	return out
 }
 
 // regType is the abstract type of a register during verification.
@@ -144,7 +177,11 @@ func Verify(p *Program) (VerifyStats, error) {
 		if pc >= 0 && pc < len(p.Insns) {
 			in = p.Insns[pc]
 		}
-		return stats, &VerifyError{Name: p.Name, PC: pc, Insn: in, Msg: fmt.Sprintf(format, args...)}
+		return stats, &VerifyError{
+			Name: p.Name, PC: pc, Insn: in,
+			Msg:    fmt.Sprintf(format, args...),
+			Window: disasmWindow(p, pc),
+		}
 	}
 
 	if !p.Kind.Valid() {
@@ -176,7 +213,11 @@ func Verify(p *Program) (VerifyStats, error) {
 	// propagate merges st into states[to].
 	propagate := func(pc int, st *absState, to int) error {
 		if to >= n {
-			return &VerifyError{Name: p.Name, PC: pc, Insn: p.Insns[pc], Msg: "control flow falls off the end of the program"}
+			return &VerifyError{
+				Name: p.Name, PC: pc, Insn: p.Insns[pc],
+				Msg:    "control flow falls off the end of the program",
+				Window: disasmWindow(p, pc),
+			}
 		}
 		states[to].merge(st)
 		return nil

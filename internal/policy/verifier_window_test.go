@@ -1,0 +1,114 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestVerifyErrorDisasmWindow checks every reject carries a disassembly
+// window around the offending pc: the marked offender plus up to one
+// instruction on each side, clamped at the program edges.
+func TestVerifyErrorDisasmWindow(t *testing.T) {
+	cases := []struct {
+		name      string
+		build     func() *Program
+		wantPC    int
+		wantLines int // expected window size after clamping
+	}{
+		{
+			// Offender mid-program: window is pc-1..pc+1.
+			name: "mid",
+			build: func() *Program {
+				return NewBuilder("w", KindCmpNode).
+					MovImm(R0, 0).
+					MovReg(R2, R3). // pc 1: reads uninitialized R3
+					Exit().
+					MustProgram()
+			},
+			wantPC: 1, wantLines: 3,
+		},
+		{
+			// Offender at pc 0: no predecessor line.
+			name: "first",
+			build: func() *Program {
+				return NewBuilder("w", KindCmpNode).
+					MovReg(R0, R2). // pc 0: reads uninitialized R2
+					Exit().
+					MustProgram()
+			},
+			wantPC: 0, wantLines: 2,
+		},
+		{
+			// Offender is the last instruction: no successor line.
+			name: "last",
+			build: func() *Program {
+				return &Program{Name: "w", Kind: KindCmpNode, Insns: []Instruction{
+					{Op: OpMovImm, Dst: R0, Imm: 0},
+					{Op: OpMovImm, Dst: R1, Imm: 1}, // pc 1: falls off the end
+				}}
+			},
+			wantPC: 1, wantLines: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			_, err := Verify(p)
+			if err == nil {
+				t.Fatal("verifier accepted bad program")
+			}
+			var verr *VerifyError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error is %T, want *VerifyError", err)
+			}
+			if verr.PC != tc.wantPC {
+				t.Fatalf("PC = %d, want %d: %v", verr.PC, tc.wantPC, err)
+			}
+			if len(verr.Window) != tc.wantLines {
+				t.Fatalf("window = %q, want %d lines", verr.Window, tc.wantLines)
+			}
+			// Each window line shows its pc and disassembly; the
+			// offender is marked with an arrow.
+			text := err.Error()
+			if !strings.Contains(text, " → ") {
+				t.Errorf("no offender marker in:\n%s", text)
+			}
+			lo := tc.wantPC - 1
+			if lo < 0 {
+				lo = 0
+			}
+			for i, line := range verr.Window {
+				pc := lo + i
+				if !strings.Contains(line, p.Insns[pc].String()) {
+					t.Errorf("window line %q missing disasm of pc %d (%s)", line, pc, p.Insns[pc])
+				}
+				marked := strings.Contains(line, "→")
+				if marked != (pc == tc.wantPC) {
+					t.Errorf("window line %q: marker on pc %d, offender is %d", line, pc, tc.wantPC)
+				}
+			}
+			// The one-line diagnosis still leads, so substring checks on
+			// the reason keep working.
+			if !strings.HasPrefix(text, "verifier: program") {
+				t.Errorf("diagnosis not first line:\n%s", text)
+			}
+		})
+	}
+}
+
+// TestVerifyErrorNoWindowWithoutPC: program-level rejects (no single
+// offending instruction) carry no window.
+func TestVerifyErrorNoWindowWithoutPC(t *testing.T) {
+	_, err := Verify(&Program{Name: "e", Kind: KindCmpNode})
+	var verr *VerifyError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is %T, want *VerifyError", err)
+	}
+	if verr.PC >= 0 || len(verr.Window) != 0 {
+		t.Fatalf("PC=%d Window=%q, want PC<0 and empty window", verr.PC, verr.Window)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Fatalf("windowless error spans lines: %q", err.Error())
+	}
+}

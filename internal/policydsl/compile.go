@@ -11,6 +11,11 @@ import (
 type CompiledUnit struct {
 	Programs []*policy.Program
 	Maps     map[string]policy.Map
+	// Lines maps each program name to its pc → 1-based source line
+	// table, recorded at statement granularity during code generation.
+	// Analysis and verifier findings (which carry a pc) map back to DSL
+	// source through it.
+	Lines map[string][]int
 }
 
 // Program returns a compiled policy by name.
@@ -21,6 +26,16 @@ func (u *CompiledUnit) Program(name string) (*policy.Program, bool) {
 		}
 	}
 	return nil, false
+}
+
+// LineFor maps an instruction pc of the named program back to the DSL
+// source line that generated it (0 when unknown).
+func (u *CompiledUnit) LineFor(progName string, pc int) int {
+	lines := u.Lines[progName]
+	if pc < 0 || pc >= len(lines) {
+		return 0
+	}
+	return lines[pc]
 }
 
 // Compile parses, type-checks and code-generates a DSL source into cBPF
@@ -46,18 +61,19 @@ func Compile(src string) (*CompiledUnit, error) {
 		maps[md.Name] = m
 	}
 
-	out := &CompiledUnit{Maps: maps}
+	out := &CompiledUnit{Maps: maps, Lines: make(map[string][]int)}
 	seen := map[string]bool{}
 	for _, pd := range unit.Policies {
 		if seen[pd.Name] {
 			return nil, errf(pd.line, pd.col, "duplicate policy %q", pd.Name)
 		}
 		seen[pd.Name] = true
-		prog, err := compilePolicy(pd, maps)
+		prog, lines, err := compilePolicy(pd, maps)
 		if err != nil {
 			return nil, err
 		}
 		out.Programs = append(out.Programs, prog)
+		out.Lines[prog.Name] = lines
 	}
 	return out, nil
 }
@@ -150,12 +166,13 @@ type compiler struct {
 	nlocals int
 	depth   int // live expression spill slots
 	labels  int
+	lines   []int // pc -> 1-based source line (0 = unclaimed)
 }
 
-func compilePolicy(pd *PolicyDecl, maps map[string]policy.Map) (*policy.Program, error) {
+func compilePolicy(pd *PolicyDecl, maps map[string]policy.Map) (*policy.Program, []int, error) {
 	kind, ok := policy.KindByName(pd.HookKind)
 	if !ok {
-		return nil, errf(pd.line, pd.col, "unknown hook kind %q", pd.HookKind)
+		return nil, nil, errf(pd.line, pd.col, "unknown hook kind %q", pd.HookKind)
 	}
 	c := &compiler{
 		b:      policy.NewBuilder(pd.Name, kind),
@@ -166,18 +183,39 @@ func compilePolicy(pd *PolicyDecl, maps map[string]policy.Map) (*policy.Program,
 	}
 	// Pre-pass: allocate every local so spill slots start below them.
 	if err := c.collectLocals(pd.Body); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Prologue: keep the context pointer in callee-saved R6.
 	c.b.MovReg(policy.R6, policy.R1)
 
 	if err := c.stmts(pd.Body); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Implicit `return 0` so control cannot fall off the end.
 	c.b.ReturnImm(0)
-	return c.b.Program()
+	// Instructions no statement claimed (prologue, implicit return)
+	// attribute to the policy declaration itself.
+	c.claim(0, c.b.Len(), pd.line)
+	prog, err := c.b.Program()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, c.lines, nil
+}
+
+// claim attributes instructions [start,end) to a source line, without
+// overriding claims made by nested statements (which run first and are
+// more specific).
+func (c *compiler) claim(start, end, line int) {
+	for len(c.lines) < end {
+		c.lines = append(c.lines, 0)
+	}
+	for pc := start; pc < end; pc++ {
+		if c.lines[pc] == 0 {
+			c.lines[pc] = line
+		}
+	}
 }
 
 func (c *compiler) collectLocals(stmts []Stmt) error {
@@ -241,7 +279,10 @@ func (c *compiler) label(prefix string) string {
 
 func (c *compiler) stmts(list []Stmt) error {
 	for _, s := range list {
-		if err := c.stmt(s); err != nil {
+		start := c.b.Len()
+		err := c.stmt(s)
+		c.claim(start, c.b.Len(), s.stmtPos().line)
+		if err != nil {
 			return err
 		}
 	}

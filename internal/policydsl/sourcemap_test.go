@@ -1,0 +1,88 @@
+package policydsl
+
+import (
+	"testing"
+
+	"concord/internal/policy"
+	"concord/internal/policy/analysis"
+)
+
+// The tracer source, with line numbers the test depends on:
+//
+//	1: (empty)
+//	2: policy cmp_node tracer {
+//	3:     let x = ctx.queue_len;
+//	4:     trace(x);
+//	5:     return 1;
+//	6: }
+const tracerSrc = `
+policy cmp_node tracer {
+    let x = ctx.queue_len;
+    trace(x);
+    return 1;
+}
+`
+
+func TestSourceLineTable(t *testing.T) {
+	u, err := CompileAndVerify(tracerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, ok := u.Program("tracer")
+	if !ok {
+		t.Fatal("no tracer program")
+	}
+	lines := u.Lines["tracer"]
+	if len(lines) != len(prog.Insns) {
+		t.Fatalf("line table covers %d of %d instructions", len(lines), len(prog.Insns))
+	}
+	// Every instruction is attributed to some line of the 6-line source.
+	for pc, line := range lines {
+		if line < 1 || line > 6 {
+			t.Fatalf("pc %d attributed to line %d", pc, line)
+		}
+	}
+	// The trace helper call must map to line 4.
+	found := false
+	for pc, in := range prog.Insns {
+		if in.Op == policy.OpCall && policy.HelperID(in.Imm) == policy.HelperTrace {
+			if got := u.LineFor("tracer", pc); got != 4 {
+				t.Fatalf("trace call at pc %d maps to line %d, want 4", pc, got)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no trace call emitted")
+	}
+	// Out-of-range pcs are 0, not a panic.
+	if u.LineFor("tracer", -1) != 0 || u.LineFor("tracer", 9999) != 0 || u.LineFor("nope", 0) != 0 {
+		t.Fatal("out-of-range LineFor not 0")
+	}
+}
+
+// Analysis warnings carry a pc; the line table turns them into source
+// positions — the round trip `concordctl analyze` prints.
+func TestAnalysisWarningMapsToSourceLine(t *testing.T) {
+	u, err := CompileAndVerify(tracerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := u.Program("tracer")
+	rep, err := analysis.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceWarn *analysis.Warning
+	for i := range rep.Warnings {
+		if rep.Warnings[i].Code == analysis.WarnTraceInHotHook {
+			traceWarn = &rep.Warnings[i]
+		}
+	}
+	if traceWarn == nil {
+		t.Fatalf("no hot-hook trace warning: %+v", rep.Warnings)
+	}
+	if got := u.LineFor("tracer", traceWarn.PC); got != 4 {
+		t.Fatalf("warning at pc %d maps to line %d, want 4 (the trace call)", traceWarn.PC, got)
+	}
+}

@@ -1,0 +1,126 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FaultSite enforces the fault-injection call discipline at every use
+// of a faultinject site outside the faultinject package itself:
+//
+//	if faultinject.Site.Enabled() {          // cheap armed-check first
+//	    if flt, ok := faultinject.Site.Fire(); ok { ... }
+//	}
+//
+// Two rules: (1) every Site.Fire() must sit under an if whose condition
+// checks the same site's Enabled() — Fire() takes the site lock and
+// counts a fire, so calling it unconditionally puts a mutex on the hot
+// path and burns the fault budget; (2) a site must not Fire() twice in
+// one function — a double fire consumes two budgeted faults per logical
+// injection point and skews MaxFires plans.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "faultinject sites guarded by Enabled() and fired once per function",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range p.Units {
+		if u.Pkg == "faultinject" {
+			continue // the package defines the protocol; it doesn't follow it
+		}
+		for _, f := range u.Files {
+			for _, fn := range funcBodies(f) {
+				diags = append(diags, faultSiteFunc(p.Fset, fn)...)
+			}
+		}
+	}
+	return diags
+}
+
+// siteFireCall returns the site base expression ("faultinject.PolicyTrap")
+// if e is a Fire() call on a faultinject site.
+func siteFireCall(e ast.Expr) (string, bool) {
+	return siteMethodCall(e, "Fire")
+}
+
+func siteMethodCall(e ast.Expr, method string) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	base := exprString(sel.X)
+	if !strings.HasPrefix(base, "faultinject.") {
+		return "", false
+	}
+	return base, true
+}
+
+func faultSiteFunc(fset *token.FileSet, fn funcBody) []Diagnostic {
+	var diags []Diagnostic
+	fired := map[string]token.Position{}
+
+	// Walk with an explicit ancestor stack so each Fire() can look
+	// upward for its guarding if.
+	var stack []ast.Node
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope, visited via its own funcBody
+		}
+		stack = append(stack, n)
+		site, ok := siteFireCall(nodeExpr(n))
+		if !ok {
+			return true
+		}
+		pos := fset.Position(n.Pos())
+		if !guardedByEnabled(stack, site) {
+			diags = append(diags, Diagnostic{
+				Pos: pos,
+				Msg: fmt.Sprintf("%s.Fire() not guarded by an `if %s.Enabled()` check", site, site),
+			})
+		}
+		if first, dup := fired[site]; dup {
+			diags = append(diags, Diagnostic{
+				Pos: pos,
+				Msg: fmt.Sprintf("%s fired twice in %s (first at %s)", site, fn.name, first),
+			})
+		} else {
+			fired[site] = pos
+		}
+		return true
+	})
+	return diags
+}
+
+// guardedByEnabled reports whether any enclosing if-condition on the
+// ancestor stack contains an Enabled() call on the same site.
+func guardedByEnabled(stack []ast.Node, site string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		found := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if s, ok := siteMethodCall(nodeExpr(n), "Enabled"); ok && s == site {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

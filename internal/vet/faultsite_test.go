@@ -1,0 +1,90 @@
+package vet
+
+import "testing"
+
+func TestFaultSiteGoodPatternClean(t *testing.T) {
+	diags := runOn(t, FaultSite, `package p
+import "concord/internal/faultinject"
+func hook() {
+	if faultinject.PolicyTrap.Enabled() {
+		if flt, ok := faultinject.PolicyTrap.Fire(); ok {
+			_ = flt
+		}
+	}
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestFaultSiteUnguardedFire(t *testing.T) {
+	diags := runOn(t, FaultSite, `package p
+import "concord/internal/faultinject"
+func hook() {
+	if flt, ok := faultinject.PolicyTrap.Fire(); ok {
+		_ = flt
+	}
+}
+`)
+	wantDiags(t, diags, "faultinject.PolicyTrap.Fire() not guarded")
+}
+
+func TestFaultSiteWrongGuard(t *testing.T) {
+	// Guarded by a different site's Enabled() — still a violation.
+	diags := runOn(t, FaultSite, `package p
+import "concord/internal/faultinject"
+func hook() {
+	if faultinject.PolicyHelper.Enabled() {
+		if flt, ok := faultinject.PolicyTrap.Fire(); ok {
+			_ = flt
+		}
+	}
+}
+`)
+	wantDiags(t, diags, "faultinject.PolicyTrap.Fire() not guarded")
+}
+
+func TestFaultSiteDoubleFire(t *testing.T) {
+	diags := runOn(t, FaultSite, `package p
+import "concord/internal/faultinject"
+func hook(a, b bool) {
+	if a && faultinject.PolicyTrap.Enabled() {
+		faultinject.PolicyTrap.Fire()
+	}
+	if b && faultinject.PolicyTrap.Enabled() {
+		faultinject.PolicyTrap.Fire()
+	}
+}
+`)
+	wantDiags(t, diags, "faultinject.PolicyTrap fired twice in hook")
+}
+
+func TestFaultSiteDistinctSitesAndScopes(t *testing.T) {
+	// Two different sites in one function, and the same site in two
+	// functions (incl. a closure), are all fine.
+	diags := runOn(t, FaultSite, `package p
+import "concord/internal/faultinject"
+func hook() {
+	if faultinject.PolicyHelper.Enabled() {
+		faultinject.PolicyHelper.Fire()
+	}
+	if faultinject.PolicyMapOp.Enabled() {
+		faultinject.PolicyMapOp.Fire()
+	}
+	go func() {
+		if faultinject.PolicyHelper.Enabled() {
+			faultinject.PolicyHelper.Fire()
+		}
+	}()
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestFaultSiteSkipsFaultinjectPackage(t *testing.T) {
+	diags := runOn(t, FaultSite, `package faultinject
+func (s *Site) helper() {
+	faultinject.Something.Fire()
+}
+`)
+	wantDiags(t, diags)
+}

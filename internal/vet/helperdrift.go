@@ -1,0 +1,136 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// HelperDrift keeps the helper tables in lockstep with the HelperID
+// enum. Adding a helper means touching several keyed tables —
+// helperNames and helperSpecs in internal/policy, HelperCosts in
+// internal/policy/analysis — and a missed one surfaces as a runtime
+// "helper(?)" string, a verifier reject, or a silently-wrong cost
+// bound. The check collects the enum members (every exported constant
+// in a HelperID const block) and requires any map literal keyed by two
+// or more of them to cover the full set.
+var HelperDrift = &Analyzer{
+	Name: "helperdrift",
+	Doc:  "helper tables keyed by HelperID cover every enum member",
+	Run:  runHelperDrift,
+}
+
+func runHelperDrift(p *Pass) []Diagnostic {
+	enum := collectHelperEnum(p)
+	if len(enum) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if d := checkHelperLiteral(p.Fset, lit, enum); d != nil {
+					diags = append(diags, *d)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// collectHelperEnum finds const blocks typed HelperID and returns the
+// exported member names (unexported members like the numHelpers
+// sentinel are not table keys).
+func collectHelperEnum(p *Pass) map[string]bool {
+	enum := map[string]bool{}
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				inEnum := false
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if vs.Type != nil {
+						id, ok := vs.Type.(*ast.Ident)
+						inEnum = ok && id.Name == "HelperID"
+					} else if len(vs.Values) > 0 {
+						// explicit untyped values reset the iota run
+						inEnum = false
+					}
+					if !inEnum {
+						continue
+					}
+					for _, name := range vs.Names {
+						if ast.IsExported(name.Name) {
+							enum[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return enum
+}
+
+// helperKeyName extracts the enum member name from a map key — either
+// the bare identifier (inside package policy) or a policy.HelperX
+// selector (other packages).
+func helperKeyName(e ast.Expr) string {
+	switch k := e.(type) {
+	case *ast.Ident:
+		return k.Name
+	case *ast.SelectorExpr:
+		return k.Sel.Name
+	}
+	return ""
+}
+
+// checkHelperLiteral reports a diagnostic if lit is a helper-keyed map
+// literal that misses enum members. A literal only qualifies once it
+// uses at least two enum members as keys — one hit is most likely a
+// test fixture, not a table.
+func checkHelperLiteral(fset *token.FileSet, lit *ast.CompositeLit, enum map[string]bool) *Diagnostic {
+	seen := map[string]bool{}
+	hits := 0
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return nil
+		}
+		name := helperKeyName(kv.Key)
+		if enum[name] {
+			hits++
+			seen[name] = true
+		}
+	}
+	if hits < 2 {
+		return nil
+	}
+	var missing []string
+	for name := range enum {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return &Diagnostic{
+		Pos: fset.Position(lit.Pos()),
+		Msg: fmt.Sprintf("helper table missing enum member(s): %s", strings.Join(missing, ", ")),
+	}
+}

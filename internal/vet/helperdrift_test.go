@@ -1,0 +1,70 @@
+package vet
+
+import "testing"
+
+const helperEnum = `package policy
+type HelperID int64
+const (
+	HelperAlpha HelperID = iota + 1
+	HelperBeta
+	HelperGamma
+
+	numHelpers
+)
+`
+
+func TestHelperDriftCompleteTableClean(t *testing.T) {
+	diags := runOn(t, HelperDrift, helperEnum+`
+var names = map[HelperID]string{
+	HelperAlpha: "alpha",
+	HelperBeta:  "beta",
+	HelperGamma: "gamma",
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestHelperDriftMissingMember(t *testing.T) {
+	diags := runOn(t, HelperDrift, helperEnum+`
+var names = map[HelperID]string{
+	HelperAlpha: "alpha",
+	HelperGamma: "gamma",
+}
+`)
+	wantDiags(t, diags, "missing enum member(s): HelperBeta")
+}
+
+func TestHelperDriftSelectorKeysAcrossPackages(t *testing.T) {
+	// A table in another package keyed by policy.HelperX selectors is
+	// held to the same standard.
+	p := parsePass(t, map[string]string{
+		"enum.go": helperEnum,
+		"cost.go": `package analysis
+import "concord/internal/policy"
+var costs = map[policy.HelperID]int64{
+	policy.HelperAlpha: 1,
+	policy.HelperBeta:  2,
+}
+`,
+	})
+	diags := Run(p, []*Analyzer{HelperDrift})
+	wantDiags(t, diags, "missing enum member(s): HelperGamma")
+}
+
+func TestHelperDriftIgnoresSingleUseFixtures(t *testing.T) {
+	// One enum key is a fixture, not a table.
+	diags := runOn(t, HelperDrift, helperEnum+`
+var one = map[HelperID]string{HelperAlpha: "alpha"}
+`)
+	wantDiags(t, diags)
+}
+
+func TestHelperDriftSentinelNotRequired(t *testing.T) {
+	// numHelpers is unexported and must not be demanded of tables.
+	diags := runOn(t, HelperDrift, helperEnum+`
+var names = map[HelperID]string{
+	HelperAlpha: "a", HelperBeta: "b", HelperGamma: "c",
+}
+`)
+	wantDiags(t, diags)
+}

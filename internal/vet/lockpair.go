@@ -1,0 +1,325 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// LockPair reports functions that return while still holding a lock
+// they also release elsewhere in the same function — the classic
+// early-return leak:
+//
+//	mu.Lock()
+//	if err != nil {
+//		return err // leaked: mu still held
+//	}
+//	mu.Unlock()
+//
+// The check simulates a held-set over the statement tree (branches,
+// loops, switches), treating `defer mu.Unlock()` as covering every
+// subsequent path. Functions that acquire a lock and never release it
+// (intentional cross-function lockers, e.g. a Lock method wrapping an
+// inner lock) are skipped: the leak signal is "this function pairs the
+// lock on some paths but not all of them".
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "lock/unlock pairing on all paths within a function",
+	Run:  runLockPair,
+}
+
+// acquire method -> matching release method.
+var lockPairs = map[string]string{
+	"Lock":    "Unlock",
+	"RLock":   "RUnlock",
+	"Acquire": "Release",
+}
+
+func runLockPair(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, fn := range funcBodies(f) {
+				diags = append(diags, lockPairFunc(p.Fset, fn)...)
+			}
+		}
+	}
+	return diags
+}
+
+// lockCall classifies a call expression as an acquire or release of a
+// trackable lock expression. The key pairs the base expression with the
+// acquire method so read and write locks on the same mutex are tracked
+// independently.
+func lockCall(e ast.Expr) (key string, acquire bool, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	base := exprString(sel.X)
+	if base == "·" {
+		return "", false, false
+	}
+	if _, isAcq := lockPairs[sel.Sel.Name]; isAcq {
+		return base + "." + sel.Sel.Name, true, true
+	}
+	for acq, rel := range lockPairs {
+		if sel.Sel.Name == rel {
+			return base + "." + acq, false, true
+		}
+	}
+	return "", false, false
+}
+
+func lockPairFunc(fset *token.FileSet, fn funcBody) []Diagnostic {
+	// First pass: which lock keys does this function release anywhere?
+	// Only those participate — a pure locker or pure releaser is a
+	// cross-function protocol, not a leak.
+	releases := map[string]bool{}
+	inspectShallow(fn.body, func(n ast.Node) bool {
+		if key, acq, ok := lockCall(nodeExpr(n)); ok && !acq {
+			releases[key] = true
+		}
+		return true
+	})
+	if len(releases) == 0 {
+		return nil
+	}
+	sim := &lockSim{fset: fset, fn: fn, releases: releases}
+	exit, terminated := sim.block(fn.body.List, map[string]token.Pos{})
+	if !terminated {
+		sim.checkHeld(exit, fn.body.Rbrace, "function end")
+	}
+	return sim.diags
+}
+
+func nodeExpr(n ast.Node) ast.Expr {
+	if e, ok := n.(ast.Expr); ok {
+		return e
+	}
+	return nil
+}
+
+type lockSim struct {
+	fset     *token.FileSet
+	fn       funcBody
+	releases map[string]bool
+	diags    []Diagnostic
+}
+
+func (s *lockSim) checkHeld(held map[string]token.Pos, at token.Pos, what string) {
+	for key, lockPos := range held {
+		if !s.releases[key] {
+			continue
+		}
+		s.diags = append(s.diags, Diagnostic{
+			Pos: s.fset.Position(at),
+			Msg: fmt.Sprintf("%s in %s with %s() held (acquired at %s)",
+				what, s.fn.name, key, s.fset.Position(lockPos)),
+		})
+	}
+}
+
+func clone(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps only keys held in every input state — the optimistic
+// merge: a lock released on any incoming path is treated as released, so
+// conditional unlocks don't produce false leaks downstream (the branch
+// that misses the unlock is caught at its own return).
+func intersect(states ...map[string]token.Pos) map[string]token.Pos {
+	if len(states) == 0 {
+		return map[string]token.Pos{}
+	}
+	out := clone(states[0])
+	for _, st := range states[1:] {
+		for k := range out {
+			if _, ok := st[k]; !ok {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// block simulates a statement list. It returns the held-set at the
+// fall-through exit and whether the list definitely terminates
+// (return / panic / branch) before falling through.
+func (s *lockSim) block(list []ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
+	for _, stmt := range list {
+		var terminated bool
+		held, terminated = s.stmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, acq, ok := lockCall(st.X); ok {
+			if acq {
+				held[key] = st.Pos()
+			} else {
+				delete(held, key)
+			}
+			return held, false
+		}
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return held, true
+			}
+		}
+		return held, false
+
+	case *ast.DeferStmt:
+		// defer mu.Unlock() — or a deferred closure releasing locks —
+		// covers every path from here on.
+		for _, key := range deferredReleases(st.Call) {
+			delete(held, key)
+		}
+		return held, false
+
+	case *ast.ReturnStmt:
+		s.checkHeld(held, st.Pos(), "return")
+		return held, true
+
+	case *ast.BranchStmt:
+		// break / continue / goto leave the list; approximate as a
+		// terminator without a held check (loop-carried state is out of
+		// scope for this checker).
+		return held, true
+
+	case *ast.BlockStmt:
+		return s.block(st.List, held)
+
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		thenExit, thenTerm := s.block(st.Body.List, clone(held))
+		elseExit, elseTerm := clone(held), false
+		if st.Else != nil {
+			elseExit, elseTerm = s.stmt(st.Else, clone(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseExit, false
+		case elseTerm:
+			return thenExit, false
+		default:
+			return intersect(thenExit, elseExit), false
+		}
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		bodyExit, bodyTerm := s.block(st.Body.List, clone(held))
+		if st.Cond == nil && bodyTerm {
+			// `for { ... }` with no fall-through: treat like the body.
+			return bodyExit, false
+		}
+		if bodyTerm {
+			return held, false
+		}
+		return intersect(held, bodyExit), false
+
+	case *ast.RangeStmt:
+		bodyExit, bodyTerm := s.block(st.Body.List, clone(held))
+		if bodyTerm {
+			return held, false
+		}
+		return intersect(held, bodyExit), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return s.switchLike(stmt, held)
+
+	case *ast.GoStmt:
+		// The spawned goroutine is a separate scope (funcBodies visits
+		// its literal independently); no effect on this path.
+		return held, false
+
+	default:
+		return held, false
+	}
+}
+
+func (s *lockSim) switchLike(stmt ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	var exits []map[string]token.Pos
+	for _, c := range body.List {
+		var caseBody []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			caseBody = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			caseBody = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		exit, term := s.block(caseBody, clone(held))
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held)
+	}
+	if len(exits) == 0 {
+		return held, true
+	}
+	return intersect(exits...), false
+}
+
+// deferredReleases lists lock keys released by a deferred call: either
+// directly (`defer mu.Unlock()`) or inside a deferred closure.
+func deferredReleases(call *ast.CallExpr) []string {
+	if key, acq, ok := lockCall(call); ok && !acq {
+		return []string{key}
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	inspectShallow(lit.Body, func(n ast.Node) bool {
+		if key, acq, ok := lockCall(nodeExpr(n)); ok && !acq {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	return keys
+}

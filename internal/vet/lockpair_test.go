@@ -1,0 +1,144 @@
+package vet
+
+import "testing"
+
+const lockIface = `package p
+import "sync"
+var mu sync.Mutex
+var rw sync.RWMutex
+`
+
+func TestLockPairEarlyReturnLeak(t *testing.T) {
+	diags := runOn(t, LockPair, lockIface+`
+func leak(bad bool) error {
+	mu.Lock()
+	if bad {
+		return nil
+	}
+	mu.Unlock()
+	return nil
+}
+`)
+	wantDiags(t, diags, "return in leak with mu.Lock() held")
+}
+
+func TestLockPairBalancedPathsClean(t *testing.T) {
+	diags := runOn(t, LockPair, lockIface+`
+func ok(bad bool) error {
+	mu.Lock()
+	if bad {
+		mu.Unlock()
+		return nil
+	}
+	mu.Unlock()
+	return nil
+}
+func deferred() {
+	mu.Lock()
+	defer mu.Unlock()
+	if true {
+		return
+	}
+}
+func deferredClosure() {
+	mu.Lock()
+	defer func() { mu.Unlock() }()
+	return
+}
+`)
+	wantDiags(t, diags)
+}
+
+func TestLockPairSkipsPureLockers(t *testing.T) {
+	// A function that locks and never unlocks (or vice versa) is a
+	// cross-function protocol, not a leak.
+	diags := runOn(t, LockPair, lockIface+`
+func lockIt()   { mu.Lock() }
+func unlockIt() { mu.Unlock() }
+`)
+	wantDiags(t, diags)
+}
+
+func TestLockPairReadWriteTrackedSeparately(t *testing.T) {
+	diags := runOn(t, LockPair, lockIface+`
+func mixed(bad bool) {
+	rw.RLock()
+	if bad {
+		return
+	}
+	rw.RUnlock()
+}
+`)
+	wantDiags(t, diags, "return in mixed with rw.RLock() held")
+
+	// RUnlock does not release a write Lock.
+	diags = runOn(t, LockPair, lockIface+`
+func wrongPair() {
+	rw.Lock()
+	rw.RUnlock()
+	rw.Unlock()
+	rw.RLock()
+	return
+}
+`)
+	wantDiags(t, diags, "return in wrongPair with rw.RLock() held")
+}
+
+func TestLockPairFallOffEnd(t *testing.T) {
+	diags := runOn(t, LockPair, lockIface+`
+func fallsOff(bad bool) {
+	mu.Lock()
+	if bad {
+		mu.Unlock()
+	}
+}
+`)
+	// The fall-through path after the if keeps mu held when bad is
+	// false... but the optimistic merge treats the conditional unlock
+	// as released. The leak IS caught when the held branch returns:
+	wantDiags(t, diags)
+
+	diags = runOn(t, LockPair, lockIface+`
+func fallsOffHeld() {
+	mu.Lock()
+	_ = 1
+	_ = mu
+	mu.Unlock()
+	mu.Lock()
+}
+`)
+	wantDiags(t, diags, "function end in fallsOffHeld with mu.Lock() held")
+}
+
+func TestLockPairAcquireRelease(t *testing.T) {
+	diags := runOn(t, LockPair, lockIface+`
+type sem struct{}
+func (s *sem) Acquire() {}
+func (s *sem) Release() {}
+func useSem(s *sem, bad bool) {
+	s.Acquire()
+	if bad {
+		return
+	}
+	s.Release()
+}
+`)
+	wantDiags(t, diags, "return in useSem with s.Acquire() held")
+}
+
+func TestLockPairSwitchPaths(t *testing.T) {
+	diags := runOn(t, LockPair, lockIface+`
+func sw(n int) {
+	mu.Lock()
+	switch n {
+	case 1:
+		mu.Unlock()
+	case 2:
+		return
+	default:
+		mu.Unlock()
+	}
+}
+`)
+	wantDiags(t, diags, "return in sw with mu.Lock() held")
+}

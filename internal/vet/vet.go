@@ -1,0 +1,273 @@
+// Package vet is a stdlib-only static-analysis driver for the Concord
+// module, the second prong of the analysis plane: where
+// internal/policy/analysis checks policy *programs*, this package checks
+// the Go *framework source* for the invariants the runtime depends on —
+// lock pairing, fault-injection site discipline, and helper-table
+// exhaustiveness. It deliberately uses only go/ast + go/parser +
+// go/token so it runs in environments without golang.org/x/tools.
+//
+// Diagnostics can be suppressed with a `//vet:ignore [analyzer...]`
+// comment on the offending line or the line above it.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one parsed directory (one package's worth of files).
+type Unit struct {
+	Dir   string
+	Pkg   string
+	Files []*ast.File
+}
+
+// Pass is the input handed to every analyzer: the whole module view, so
+// analyzers may correlate across packages (helperdrift needs the enum
+// from internal/policy and the cost table from internal/policy/analysis).
+type Pass struct {
+	Fset  *token.FileSet
+	Units []*Unit
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Msg)
+}
+
+// Analyzer is one named check over a Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{LockPair, FaultSite, HelperDrift}
+}
+
+// Load parses the packages matched by patterns into Units. A pattern is
+// a directory, or a directory followed by "/..." to walk recursively.
+// Directories named testdata or vendor, and hidden directories, are
+// skipped. Test files are skipped unless includeTests is set.
+func Load(fset *token.FileSet, patterns []string, includeTests bool) ([]*Unit, error) {
+	dirs := map[string]bool{}
+	var order []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !dirs[dir] {
+			dirs[dir] = true
+			order = append(order, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if root, ok := strings.CutSuffix(pat, "/..."); ok {
+			err := filepath.WalkDir(filepath.Clean(root), func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != filepath.Clean(root) &&
+					(name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			add(pat)
+		}
+	}
+
+	var units []*Unit
+	for _, dir := range order {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		u := &Unit{Dir: dir}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			if !includeTests && strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			u.Files = append(u.Files, f)
+			if u.Pkg == "" || !strings.HasSuffix(u.Pkg, "_test") {
+				u.Pkg = f.Name.Name
+			}
+		}
+		if len(u.Files) > 0 {
+			units = append(units, u)
+		}
+	}
+	return units, nil
+}
+
+// Run executes the analyzers over the pass, filters `//vet:ignore`
+// suppressions, and returns the surviving diagnostics in file order.
+func Run(p *Pass, analyzers []*Analyzer) []Diagnostic {
+	ignored := collectIgnores(p)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(p) {
+			d.Analyzer = a.Name
+			if ignored.covers(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ignoreSet maps file -> line -> analyzer names suppressed there
+// ("" means all analyzers).
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[line]; names != nil {
+			if names[""] || names[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectIgnores(p *Pass) ignoreSet {
+	set := ignoreSet{}
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "vet:ignore")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						set[pos.Filename] = lines
+					}
+					names := lines[pos.Line]
+					if names == nil {
+						names = map[string]bool{}
+						lines[pos.Line] = names
+					}
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						names[""] = true
+						continue
+					}
+					for _, n := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' }) {
+						names[n] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// exprString renders the expressions the analyzers care about (selector
+// chains) into a stable key. Expressions outside that subset render as
+// "·", which callers treat as untrackable.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[·]"
+	}
+	return "·"
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — each exactly once, with a display name.
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{name: fn.Name.Name, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{name: "func literal", body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals — those are separate scopes handled by their own funcBody.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if m == nil {
+			return true
+		}
+		return visit(m)
+	})
+}

@@ -1,0 +1,94 @@
+package vet
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePass builds a single-unit Pass from in-memory sources keyed by
+// file name.
+func parsePass(t *testing.T, files map[string]string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	u := &Unit{Dir: "test"}
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		u.Files = append(u.Files, f)
+		u.Pkg = f.Name.Name
+	}
+	return &Pass{Fset: fset, Units: []*Unit{u}}
+}
+
+func runOn(t *testing.T, a *Analyzer, src string) []Diagnostic {
+	t.Helper()
+	p := parsePass(t, map[string]string{"src.go": src})
+	return Run(p, []*Analyzer{a})
+}
+
+func wantDiags(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(substrs), diags)
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i].String(), want) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i], want)
+		}
+	}
+}
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	src := `package p
+func f(mu interface{ Lock(); Unlock() }, bad bool) {
+	mu.Lock()
+	if bad {
+		return //vet:ignore lockpair
+	}
+	mu.Unlock()
+}
+`
+	wantDiags(t, runOn(t, LockPair, src)) // suppressed → no diagnostics
+
+	// The same directive naming a different analyzer does not suppress.
+	src2 := strings.Replace(src, "vet:ignore lockpair", "vet:ignore faultsite", 1)
+	wantDiags(t, runOn(t, LockPair, src2), "return in f with mu.Lock() held")
+
+	// A bare vet:ignore on the preceding line suppresses everything.
+	src3 := strings.Replace(src, "return //vet:ignore lockpair",
+		"//vet:ignore\n\t\treturn", 1)
+	wantDiags(t, runOn(t, LockPair, src3))
+}
+
+func TestLoadWalksAndSkipsTestdata(t *testing.T) {
+	fset := token.NewFileSet()
+	units, err := Load(fset, []string{"../vet/..."}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 1 || units[0].Pkg != "vet" {
+		t.Fatalf("units = %+v", units)
+	}
+	// Without -tests, no _test.go file is parsed.
+	for _, f := range units[0].Files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s parsed without includeTests", name)
+		}
+	}
+
+	withTests, err := Load(fset, []string{".."}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ".." is internal/, which holds no Go files itself → no units.
+	for _, u := range withTests {
+		if len(u.Files) == 0 {
+			t.Errorf("empty unit %q", u.Dir)
+		}
+	}
+}
