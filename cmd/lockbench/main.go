@@ -17,6 +17,19 @@
 // f2a, f2b and f2c run on the simulated 8-socket/80-CPU machine (shape
 // reproduction); f2c-real measures the real lock implementations on the
 // host (framework-overhead reproduction).
+//
+// Regression mode (the perfstat harness):
+//
+//	lockbench -regress [-baseline BENCH_seed.json] [-regress-out BENCH_4.json]
+//	          [-runs 5] [-ops N] [-pooling on|off] [-slack 5]
+//
+// measures the lock × workload matrix (real locks on hashtable / lock2 /
+// page_fault2 plus the deterministic ksim Figure-2 sweep at simulated
+// 8/16/80 cores), writes the result as a perfstat baseline, and — when
+// -baseline is given — prints a benchstat-style pass/fail delta table,
+// exiting 4 if any cell regressed significantly (throughput or
+// allocs/op). -pooling off re-measures with queue-node pooling disabled,
+// which is how the pre-optimization BENCH_seed.json was produced.
 package main
 
 import (
@@ -30,6 +43,8 @@ import (
 	"time"
 
 	"concord/internal/experiments"
+	"concord/internal/locks"
+	"concord/internal/perfstat"
 )
 
 func main() {
@@ -38,8 +53,15 @@ func main() {
 	format := flag.String("format", "table", "table | csv")
 	out := flag.String("out", "", "output file (default stdout)")
 	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json files into this directory")
-	ops := flag.Int("ops", 2000, "ops per worker for f2c-real")
+	ops := flag.Int("ops", 2000, "ops per worker for f2c-real and -regress")
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this (0 = no deadline); keeps a wedged benchmark from hanging CI")
+	regress := flag.Bool("regress", false, "run the perfstat regression matrix instead of a figure")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare the -regress run against")
+	regressOut := flag.String("regress-out", "BENCH_4.json", "where -regress writes the new baseline")
+	runs := flag.Int("runs", 5, "repeated measurements per -regress cell")
+	workers := flag.Int("workers", 8, "workers per real-lock -regress cell")
+	pooling := flag.String("pooling", "on", "queue-node pooling during -regress: on | off")
+	slack := flag.Float64("slack", 5, "percent throughput drop tolerated before a significant delta fails the gate")
 	flag.Parse()
 
 	if *deadline > 0 {
@@ -52,6 +74,11 @@ func main() {
 			}
 			os.Exit(3)
 		})
+	}
+
+	if *regress {
+		os.Exit(runRegress(regressConfigFromFlags(*runs, *workers, *ops, *pooling),
+			*baseline, *regressOut, *slack))
 	}
 
 	threads := experiments.DefaultThreads
@@ -128,4 +155,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+func regressConfigFromFlags(runs, workers, ops int, pooling string) experiments.RegressConfig {
+	switch pooling {
+	case "on":
+		locks.SetNodePooling(true)
+	case "off":
+		locks.SetNodePooling(false)
+	default:
+		fmt.Fprintf(os.Stderr, "lockbench: bad -pooling %q (want on|off)\n", pooling)
+		os.Exit(2)
+	}
+	label := "pooled"
+	if pooling == "off" {
+		label = "unpooled"
+	}
+	return experiments.RegressConfig{
+		Runs: runs, Threads: workers, Ops: ops, Label: label,
+	}
+}
+
+// runRegress measures the matrix, writes the new baseline, and gates
+// against the old one. Exit codes: 0 pass, 1 I/O error, 4 regression.
+func runRegress(cfg experiments.RegressConfig, baselinePath, outPath string, slackPct float64) int {
+	fmt.Fprintf(os.Stderr, "running regression matrix (runs=%d workers=%d ops=%d pooling=%v)...\n",
+		cfg.Runs, cfg.Threads, cfg.Ops, locks.NodePooling())
+	b := experiments.RunRegress(cfg)
+	if outPath != "" {
+		if err := perfstat.WriteBaseline(outPath, b); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "wrote", outPath)
+	}
+	if baselinePath == "" {
+		// No baseline: just report the fresh measurements.
+		results := perfstat.CompareBaselines(&perfstat.Baseline{}, b, slackPct)
+		perfstat.FormatResults(os.Stdout, results)
+		return 0
+	}
+	old, err := perfstat.ReadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		return 1
+	}
+	results := perfstat.CompareBaselines(old, b, slackPct)
+	if err := perfstat.FormatResults(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		return 1
+	}
+	if perfstat.AnyRegression(results) {
+		fmt.Fprintln(os.Stderr, "lockbench: REGRESSION against", baselinePath)
+		return 4
+	}
+	fmt.Fprintln(os.Stderr, "lockbench: no significant regression against", baselinePath)
+	return 0
 }

@@ -106,3 +106,49 @@ func TestLockbenchRejectsBadArgs(t *testing.T) {
 		t.Error("bad thread list accepted")
 	}
 }
+
+func TestLockbenchRegress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildLockbench(t)
+	dir := t.TempDir()
+	seed := filepath.Join(dir, "BENCH_seed.json")
+	next := filepath.Join(dir, "BENCH_next.json")
+	small := []string{"-regress", "-runs", "2", "-workers", "2", "-ops", "100"}
+
+	// Measure a tiny baseline, then compare a second run against it: two
+	// runs of identical code must not trip the gate. Two-sample runs on a
+	// loaded CI host are far noisier than a real 5-run sweep, so the
+	// throughput slack is opened wide — the deterministic ksim cells
+	// still verify the exact-comparison path at zero tolerance.
+	if out, err := exec.Command(bin, append(small, "-regress-out", seed)...).CombinedOutput(); err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(seed); err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	out, err := exec.Command(bin, append(small, "-slack", "95", "-baseline", seed, "-regress-out", next)...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("compare run regressed or failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"verdict", "mcs", "sim-qspin", "no significant regression"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("regress output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A corrupt baseline is an I/O error (exit 1), not a crash.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	err = exec.Command(bin, append(small, "-baseline", bad, "-regress-out", next)...).Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Fatalf("corrupt baseline: want exit 1, got %v", err)
+	}
+
+	// -pooling validates its argument.
+	if err := exec.Command(bin, "-regress", "-pooling", "sideways").Run(); err == nil {
+		t.Error("bad -pooling accepted")
+	}
+}

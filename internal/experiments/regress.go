@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"concord/internal/ksim"
+	"concord/internal/locks"
+	"concord/internal/perfstat"
+	"concord/internal/task"
+	"concord/internal/topology"
+	"concord/internal/workloads"
+)
+
+// This file is the lock × workload regression matrix behind
+// `lockbench -regress`: real lock implementations on the hashtable,
+// lock2 and page_fault2 workloads, plus the deterministic ksim Figure-2
+// sweep at simulated 8/16/80 cores. Each cell is measured perfstat.Runs
+// times; real-lock cells also carry a contended allocs/op probe, the
+// number the qnode-pooling work drives to zero.
+
+// RegressConfig shapes one RunRegress sweep.
+type RegressConfig struct {
+	Runs       int    // repeated measurements per cell (default 5)
+	Threads    int    // workers for real-lock cells (default 8)
+	Ops        int    // ops per worker for real-lock cells (default 2000)
+	SimThreads []int  // simulated core counts (default 8, 16, 80)
+	Label      string // recorded in the baseline
+}
+
+func (c *RegressConfig) setDefaults() {
+	if c.Runs <= 0 {
+		c.Runs = 5
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if len(c.SimThreads) == 0 {
+		c.SimThreads = []int{8, 16, 80}
+	}
+}
+
+// realLocks is the roster of real lock constructors the matrix measures.
+// Fresh instances per run keep profiling counters and queue state from
+// leaking between cells.
+func realLocks() []struct {
+	name string
+	mk   func() locks.Lock
+} {
+	return []struct {
+		name string
+		mk   func() locks.Lock
+	}{
+		{"mcs", func() locks.Lock { return locks.NewMCSLock("bench-mcs") }},
+		{"clh", func() locks.Lock { return locks.NewCLHLock("bench-clh") }},
+		{"qspin", func() locks.Lock { return locks.NewQSpinLock("bench-qspin") }},
+		{"cna", func() locks.Lock { return locks.NewCNALock("bench-cna", 0, 0) }},
+		{"shfl", func() locks.Lock { return locks.NewShflLock("bench-shfl") }},
+		{"shfl-block", func() locks.Lock {
+			return locks.NewShflLock("bench-shflb", locks.WithBlocking(true), locks.WithSpinBudget(32))
+		}},
+	}
+}
+
+// RunRegress measures the full matrix and returns it as a baseline.
+func RunRegress(cfg RegressConfig) *perfstat.Baseline {
+	cfg.setDefaults()
+	topo := topology.Paper()
+	b := &perfstat.Baseline{
+		Label:   cfg.Label,
+		Pooling: locks.NodePooling(),
+		Runs:    cfg.Runs,
+	}
+
+	// Real locks × {hashtable, lock2}.
+	for _, rl := range realLocks() {
+		allocs := contendedAllocsPerOp(rl.mk, topo, cfg.Threads)
+		b.Cells = append(b.Cells, perfstat.Cell{
+			Lock: rl.name, Workload: "hashtable", Threads: cfg.Threads,
+			AllocsPerOp: allocs,
+			OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+				return workloads.RunHashTable(rl.mk(), topo, workloads.HashTableConfig{
+					Workers: cfg.Threads, OpsPerWorker: cfg.Ops,
+				}).OpsPerMSec()
+			}),
+		})
+		b.Cells = append(b.Cells, perfstat.Cell{
+			Lock: rl.name, Workload: "lock2", Threads: cfg.Threads,
+			AllocsPerOp: allocs,
+			OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+				return workloads.RunLock2(rl.mk(), topo, workloads.Lock2Config{
+					Workers: cfg.Threads, OpsPerWorker: cfg.Ops, CSWork: 16, OutsideWork: 32,
+				}).OpsPerMSec()
+			}),
+		})
+	}
+
+	// RWSem × page_fault2 (read-mostly, the Figure 2(a) shape).
+	mkSem := func() locks.Lock { return locks.NewRWSem("bench-rwsem") }
+	b.Cells = append(b.Cells, perfstat.Cell{
+		Lock: "rwsem", Workload: "page_fault2", Threads: cfg.Threads,
+		AllocsPerOp: contendedAllocsPerOp(mkSem, topo, cfg.Threads),
+		OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+			return workloads.RunPageFault2(locks.NewRWSem("bench-rwsem"), topo,
+				workloads.PageFault2Config{
+					Workers: cfg.Threads, FaultsPerWorker: cfg.Ops, WriterEvery: 64,
+				}).OpsPerMSec()
+		}),
+	})
+
+	// ksim Figure-2 sweep: deterministic (seeded discrete-event runs), so
+	// any delta against the baseline is a behavioral change in the
+	// simulated algorithms or their policies, not noise.
+	c := ksim.DefaultCosts()
+	cbpf := CBPFNumaCmp()
+	simSeries := []struct {
+		lock, workload string
+		w              ksim.Workload
+		mk             func(e *ksim.Engine) ksim.SimLock
+	}{
+		{"sim-qspin", "lock2", lock2Sim,
+			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimQspin(e, c) }},
+		{"sim-shfl", "lock2", lock2Sim,
+			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimShfl(e, c, nativeNumaCmp, 0) }},
+		{"sim-shfl-cbpf", "lock2", lock2Sim,
+			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimShfl(e, c, cbpf, c.DispatchNS) }},
+		{"sim-rwsem", "page_fault2", pageFault2Sim,
+			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimRWSem(e, c) }},
+		{"sim-bravo", "page_fault2", pageFault2Sim,
+			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimBRAVO(e, c, 0) }},
+	}
+	for _, s := range simSeries {
+		for _, n := range cfg.SimThreads {
+			b.Cells = append(b.Cells, perfstat.Cell{
+				Lock: s.lock, Workload: s.workload, Threads: n,
+				AllocsPerOp: -1,
+				OpsPerMSec: perfstat.Measure(2, false, func() float64 {
+					return simPoint(s.mk, s.w, n)
+				}),
+			})
+		}
+	}
+	return b
+}
+
+// contendedAllocsPerOp measures heap allocations per acquire/release
+// pair on a deliberately contended lock: workers with pre-created tasks
+// warm the lock (populating node pools and parker timers), rendezvous,
+// and then hammer it while the probe brackets the phase with
+// runtime.MemStats.Mallocs. Each holder yields inside its critical
+// section, so the other workers pile onto the slow path even on a
+// single-CPU host — every acquire measured is a *contended* acquire.
+// With pooling this settles at 0; the seed behavior was ≥1.
+func contendedAllocsPerOp(mk func() locks.Lock, topo *topology.Topology, workers int) float64 {
+	const warmupOps, measuredOps = 64, 512
+	l := mk()
+	tasks := make([]*task.T, workers)
+	for i := range tasks {
+		tasks[i] = task.New(topo)
+	}
+
+	var warm, measured, done sync.WaitGroup
+	start := make(chan struct{})
+	warm.Add(workers)
+	measured.Add(workers)
+	done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(t *task.T) {
+			defer done.Done()
+			for op := 0; op < warmupOps; op++ {
+				l.Lock(t)
+				runtime.Gosched()
+				l.Unlock(t)
+			}
+			warm.Done()
+			<-start
+			for op := 0; op < measuredOps; op++ {
+				l.Lock(t)
+				runtime.Gosched()
+				l.Unlock(t)
+			}
+			measured.Done()
+		}(tasks[i])
+	}
+	warm.Wait()
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	close(start)
+	measured.Wait()
+	runtime.ReadMemStats(&after)
+	done.Wait()
+
+	ops := float64(workers * measuredOps)
+	return float64(after.Mallocs-before.Mallocs) / ops
+}

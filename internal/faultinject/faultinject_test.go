@@ -2,12 +2,23 @@ package faultinject
 
 import (
 	"errors"
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
 
+// Site names are process-unique compile-time identifiers, so tests that
+// register ad-hoc sites must mint fresh names to stay re-runnable under
+// -count=N within one process.
+var testSiteSeq atomic.Int64
+
+func newTestSite(prefix string) *Site {
+	return New(fmt.Sprintf("%s#%d", prefix, testSiteSeq.Add(1)))
+}
+
 func TestDisarmedSiteIsInert(t *testing.T) {
-	s := New("test.inert")
+	s := newTestSite("test.inert")
 	if s.Enabled() {
 		t.Fatal("fresh site reports enabled")
 	}
@@ -20,7 +31,7 @@ func TestDisarmedSiteIsInert(t *testing.T) {
 }
 
 func TestArmFireDisarm(t *testing.T) {
-	s := New("test.basic")
+	s := newTestSite("test.basic")
 	s.Arm(Config{Delay: 3 * time.Millisecond})
 	if !s.Enabled() {
 		t.Fatal("armed site reports disabled")
@@ -48,7 +59,7 @@ func TestArmFireDisarm(t *testing.T) {
 }
 
 func TestMaxFiresCap(t *testing.T) {
-	s := New("test.cap")
+	s := newTestSite("test.cap")
 	s.Arm(Config{MaxFires: 2})
 	fired := 0
 	for i := 0; i < 10; i++ {
@@ -95,9 +106,9 @@ func TestProbabilityDeterministic(t *testing.T) {
 }
 
 func TestPlanApply(t *testing.T) {
-	s := New("test.plan")
+	s := newTestSite("test.plan")
 	defer s.Disarm()
-	p := Plan{Seed: 7, Sites: map[string]Config{"test.plan": {MaxFires: 1}}}
+	p := Plan{Seed: 7, Sites: map[string]Config{s.Name(): {MaxFires: 1}}}
 	if err := p.Apply(); err != nil {
 		t.Fatal(err)
 	}
@@ -132,8 +143,9 @@ func TestDuplicateSitePanics(t *testing.T) {
 			t.Fatal("duplicate registration did not panic")
 		}
 	}()
-	New("test.dup")
-	New("test.dup")
+	name := fmt.Sprintf("test.dup#%d", testSiteSeq.Add(1))
+	New(name)
+	New(name)
 }
 
 // BenchmarkDisabledSite measures the hot-path guard of a disarmed site —
@@ -153,7 +165,7 @@ func BenchmarkDisabledSite(b *testing.B) {
 }
 
 func BenchmarkArmedInertSite(b *testing.B) {
-	s := New("bench.inert")
+	s := newTestSite("bench.inert")
 	s.Arm(Config{MaxFires: 1})
 	s.Fire() // exhaust the cap; subsequent fires are the inert path
 	b.ReportAllocs()

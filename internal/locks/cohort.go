@@ -14,7 +14,7 @@ type cohortSocket struct {
 	// ownsGlobal and batch are only touched while local is held.
 	ownsGlobal bool
 	batch      int32
-	_          [4]int64 // pad to keep sockets off each other's lines
+	_          [48]byte // pad to a full line: sockets sit in one slice
 }
 
 // CohortLock is a two-level hierarchical NUMA lock in the style of lock
@@ -28,8 +28,9 @@ type CohortLock struct {
 	profBase
 	topo     *topology.Topology
 	sockets  []cohortSocket
-	global   atomic.Int32
 	maxBatch int32
+	_        [64]byte // the contended global word gets a line of its own
+	global   atomic.Int32
 }
 
 // NewCohortLock returns a cohort lock over topo. maxBatch bounds
@@ -107,11 +108,14 @@ func (l *CohortLock) Unlock(t *task.T) {
 
 // --- CNA-style lock ---
 
-// cnaNode is a queue entry of CNALock.
+// cnaNode is a queue entry of CNALock, pooled per task and padded to a
+// cache line like mcsNode.
 type cnaNode struct {
 	socket int
 	locked atomic.Bool
 	next   atomic.Pointer[cnaNode]
+	free   *cnaNode
+	_      [32]byte
 }
 
 // CNALock is a compact NUMA-aware queue lock in the spirit of CNA
@@ -124,7 +128,9 @@ type cnaNode struct {
 // transfers to bound remote-waiter starvation.
 type CNALock struct {
 	profBase
+	_     [64]byte
 	tail  atomic.Pointer[cnaNode]
+	_     [56]byte // enqueuers hammer tail; owner is release-path-only
 	owner atomic.Pointer[cnaNode]
 
 	scanWindow  int
@@ -156,7 +162,7 @@ func (l *CNALock) Promotions() int64 { return l.promoted.Load() }
 // Lock implements Lock.
 func (l *CNALock) Lock(t *task.T) {
 	start := l.noteAcquire(t)
-	n := &cnaNode{socket: t.Socket()}
+	n := takeCNANode(t, t.Socket())
 	prev := l.tail.Swap(n)
 	if prev != nil {
 		n.locked.Store(true)
@@ -173,8 +179,9 @@ func (l *CNALock) Lock(t *task.T) {
 // TryLock implements Lock.
 func (l *CNALock) TryLock(t *task.T) bool {
 	start := l.noteAcquire(t)
-	n := &cnaNode{socket: t.Socket()}
+	n := takeCNANode(t, t.Socket())
 	if !l.tail.CompareAndSwap(nil, n) {
+		putCNANode(t, n)
 		return false
 	}
 	l.owner.Store(n)
@@ -189,6 +196,7 @@ func (l *CNALock) Unlock(t *task.T) {
 	next := n.next.Load()
 	if next == nil {
 		if l.tail.CompareAndSwap(n, nil) {
+			putCNANode(t, n)
 			return
 		}
 		for i := 0; ; i++ {
@@ -230,4 +238,5 @@ func (l *CNALock) Unlock(t *task.T) {
 		l.handoffs.Store(0)
 	}
 	next.locked.Store(false)
+	putCNANode(t, n)
 }

@@ -8,12 +8,17 @@ import (
 
 // --- MCS lock ---
 
-// mcsNode is one waiter's queue entry. Nodes are per-acquisition and
-// heap-allocated; a sync.Pool would remove the allocation but would also
-// blur the algorithmic comparison, so we keep it explicit.
+// mcsNode is one waiter's queue entry, drawn from the acquiring task's
+// node cache (see pool.go) so the contended path is allocation-free,
+// and padded to a cache line so two pooled nodes spinning side by side
+// never share one. The free link is owner-goroutine-only; locked and
+// next stay atomic because a straggling predecessor may still read a
+// freed node.
 type mcsNode struct {
-	locked atomic.Bool // true while the owner must wait
+	locked atomic.Bool
 	next   atomic.Pointer[mcsNode]
+	free   *mcsNode
+	_      [40]byte // pad the 24 bytes above to a 64-byte line
 }
 
 // MCSLock is the classic Mellor-Crummey/Scott queue lock: each waiter
@@ -21,7 +26,9 @@ type mcsNode struct {
 // This is the structural ancestor of qspinlock and ShflLock (§2.2).
 type MCSLock struct {
 	profBase
+	_    [64]byte // keep the enqueue word off the hookable's line
 	tail atomic.Pointer[mcsNode]
+	_    [56]byte // enqueuers hammer tail; owner is release-path-only
 	// owner holds the queue node of the current lock holder; a kernel
 	// MCS keeps it on the holder's stack, here the lock carries it.
 	owner atomic.Pointer[mcsNode]
@@ -35,7 +42,7 @@ func NewMCSLock(name string) *MCSLock {
 // Lock implements Lock.
 func (l *MCSLock) Lock(t *task.T) {
 	start := l.noteAcquire(t)
-	n := &mcsNode{}
+	n := takeMCSNode(t)
 	prev := l.tail.Swap(n)
 	if prev != nil {
 		n.locked.Store(true)
@@ -52,8 +59,9 @@ func (l *MCSLock) Lock(t *task.T) {
 // TryLock implements Lock.
 func (l *MCSLock) TryLock(t *task.T) bool {
 	start := l.noteAcquire(t)
-	n := &mcsNode{}
+	n := takeMCSNode(t)
 	if !l.tail.CompareAndSwap(nil, n) {
+		putMCSNode(t, n)
 		return false
 	}
 	l.owner.Store(n)
@@ -68,6 +76,8 @@ func (l *MCSLock) Unlock(t *task.T) {
 	next := n.next.Load()
 	if next == nil {
 		if l.tail.CompareAndSwap(n, nil) {
+			// No successor ever saw n; safe to reuse immediately.
+			putMCSNode(t, n)
 			return
 		}
 		// An enqueue is in flight; wait for its next-pointer store.
@@ -78,45 +88,69 @@ func (l *MCSLock) Unlock(t *task.T) {
 			spinYield(i)
 		}
 	}
+	// After the handoff store the successor spins on its own node and
+	// the in-flight enqueuer (if any) has finished writing n.next, so n
+	// is private again.
 	next.locked.Store(false)
+	putMCSNode(t, n)
 }
 
 // --- CLH lock ---
 
+// CLH node state word: bit 0 is the lock bit, the remaining bits are a
+// generation counter bumped on every reuse from the pool. Single-use
+// nodes made "tail was X and X was unlocked" a sound acquisition
+// argument; with pooled nodes the tail can ABA back to a recycled X, so
+// TryLock revalidates the whole state word (same generation, still
+// unlocked) after claiming the tail — see TryLock.
+const (
+	clhLocked  uint64 = 1
+	clhGenStep uint64 = 2
+)
+
 // clhNode is a CLH queue entry; waiters spin on their *predecessor's*
-// node rather than their own.
+// node rather than their own. Padded to a cache line (see mcsNode).
 type clhNode struct {
-	locked atomic.Bool
+	state atomic.Uint64 // gen<<1 | locked
+	free  *clhNode
+	_     [48]byte
 }
 
 // CLHLock is the Craig/Landin/Hagersten queue lock: implicit queue
 // through a swapped tail pointer, spinning on the predecessor's flag.
+// Nodes recycle through per-task caches in the textbook CLH manner: the
+// acquirer adopts its quiescent predecessor node once the spin ends.
 type CLHLock struct {
 	profBase
+	_    [64]byte
 	tail atomic.Pointer[clhNode]
+	_    [56]byte
 	cur  atomic.Pointer[clhNode] // owner's node, released on unlock
 }
 
 // NewCLHLock returns a CLH queue spinlock.
 func NewCLHLock(name string) *CLHLock {
 	l := &CLHLock{profBase: profBase{hookable: newHookable(name)}}
-	n := &clhNode{} // sentinel: initially unlocked
-	l.tail.Store(n)
+	l.tail.Store(&clhNode{}) // sentinel: initially unlocked
 	return l
 }
 
 // Lock implements Lock.
 func (l *CLHLock) Lock(t *task.T) {
 	start := l.noteAcquire(t)
-	n := &clhNode{}
-	n.locked.Store(true)
+	n := takeCLHNode(t)
+	n.state.Or(clhLocked)
 	prev := l.tail.Swap(n)
-	if prev.locked.Load() {
+	if prev.state.Load()&clhLocked != 0 {
 		l.noteContended(t, start)
-		for i := 0; prev.locked.Load(); i++ {
+		for i := 0; prev.state.Load()&clhLocked != 0; i++ {
 			spinYield(i)
 		}
 	}
+	// prev has drained: its owner released and nobody else will touch
+	// it again, so this task adopts it for a later acquisition — the
+	// classic CLH node-recycling argument.
+	putCLHNode(t, prev)
 	l.cur.Store(n)
 	l.noteAcquired(t, start, false)
 }
@@ -125,23 +159,48 @@ func (l *CLHLock) Lock(t *task.T) {
 func (l *CLHLock) TryLock(t *task.T) bool {
 	start := l.noteAcquire(t)
 	prev := l.tail.Load()
-	if prev.locked.Load() {
+	s0 := prev.state.Load()
+	if s0&clhLocked != 0 {
 		return false
 	}
-	n := &clhNode{}
-	n.locked.Store(true)
+	n := takeCLHNode(t)
+	n.state.Or(clhLocked)
 	if !l.tail.CompareAndSwap(prev, n) {
+		putCLHNode(t, n)
 		return false
 	}
-	// prev was unlocked and cannot re-lock (nodes are single-use), so we
-	// own the lock immediately.
-	l.cur.Store(n)
-	l.noteAcquired(t, start, false)
-	return true
+	// The CAS proved tail was still prev, but with pooled nodes that is
+	// no longer proof prev wasn't recycled and re-enqueued in between
+	// (ABA). The generation stamp closes the hole: if prev's state word
+	// still reads exactly s0 (same generation, unlocked), prev was
+	// quiescent across the window and the acquisition is sound.
+	if prev.state.Load() == s0 {
+		putCLHNode(t, prev)
+		l.cur.Store(n)
+		l.noteAcquired(t, start, false)
+		return true
+	}
+	// ABA detected: prev is live in a new life and the lock is actually
+	// held. Undo the enqueue if no successor arrived yet.
+	if l.tail.CompareAndSwap(n, prev) {
+		putCLHNode(t, n)
+		return false
+	}
+	// A successor already queued behind n and spins on it. n cannot be
+	// withdrawn, so become a ghost waiter: wait for prev like a normal
+	// acquirer (bounded by the holder's critical section — rare², this
+	// needs the ABA *and* an enqueue inside the same window), then pass
+	// the baton straight through without entering the critical section.
+	for i := 0; prev.state.Load()&clhLocked != 0; i++ {
+		spinYield(i)
+	}
+	putCLHNode(t, prev)
+	n.state.And(^clhLocked)
+	return false
 }
 
 // Unlock implements Lock.
 func (l *CLHLock) Unlock(t *task.T) {
 	l.noteRelease(t, false)
-	l.cur.Load().locked.Store(false)
+	l.cur.Load().state.And(^clhLocked)
 }

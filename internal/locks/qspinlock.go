@@ -12,10 +12,13 @@ const (
 	qPending uint32 = 1 << 8
 )
 
-// qspinNode is a queued waiter (the MCS tier of the lock).
+// qspinNode is a queued waiter (the MCS tier of the lock), pooled per
+// task and padded to a cache line like mcsNode.
 type qspinNode struct {
 	locked atomic.Bool
 	next   atomic.Pointer[qspinNode]
+	free   *qspinNode
+	_      [40]byte
 }
 
 // QSpinLock is the Linux queued spinlock — the "Stock" baseline of
@@ -27,7 +30,9 @@ type qspinNode struct {
 // simulated counterpart is ksim.SimQspin.
 type QSpinLock struct {
 	profBase
+	_    [64]byte
 	val  atomic.Uint32
+	_    [60]byte // val (fast path) and tail (queue path) on separate lines
 	tail atomic.Pointer[qspinNode]
 }
 
@@ -80,7 +85,7 @@ func (l *QSpinLock) slowPath(t *task.T) {
 	}
 
 	// Queue path (MCS).
-	n := &qspinNode{}
+	n := takeQspinNode(t)
 	prev := l.tail.Swap(n)
 	if prev != nil {
 		n.locked.Store(true)
@@ -99,7 +104,8 @@ func (l *QSpinLock) slowPath(t *task.T) {
 		}
 		spinYield(i)
 	}
-	// Leave the queue, promoting the successor.
+	// Leave the queue, promoting the successor; n is private again once
+	// any in-flight enqueuer's next-store has been observed.
 	next := n.next.Load()
 	if next == nil {
 		if !l.tail.CompareAndSwap(n, nil) {
@@ -114,6 +120,7 @@ func (l *QSpinLock) slowPath(t *task.T) {
 	if next != nil {
 		next.locked.Store(false)
 	}
+	putQspinNode(t, n)
 }
 
 // TryLock implements Lock.

@@ -2,9 +2,69 @@ package locks
 
 import (
 	"sync"
+	"sync/atomic"
 
+	"concord/internal/syncx/park"
 	"concord/internal/task"
 )
+
+// semWaiter is one queued reader or writer of an RWSem, pooled per task
+// (see pool.go) and padded to a cache line. The handoff is by direct
+// grant: the releaser updates the semaphore state on the waiter's
+// behalf, sets granted, and unparks — the woken waiter re-checks
+// nothing and never re-acquires the semaphore's mutex.
+type semWaiter struct {
+	parker  park.Parker
+	next    *semWaiter
+	free    *semWaiter
+	reader  bool
+	granted atomic.Bool
+	_       [30]byte
+}
+
+// semQueue is a FIFO of semWaiters, guarded by the owning RWSem's mu.
+type semQueue struct {
+	head, tail *semWaiter
+	len        int
+}
+
+func (q *semQueue) push(w *semWaiter) {
+	if q.tail == nil {
+		q.head = w
+	} else {
+		q.tail.next = w
+	}
+	q.tail = w
+	q.len++
+}
+
+func (q *semQueue) pop() *semWaiter {
+	w := q.head
+	q.head = w.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	w.next = nil
+	q.len--
+	return w
+}
+
+// semSpinBudget is how many adaptive-spin iterations a semaphore waiter
+// performs before parking. Semaphore critical sections are longer than
+// spinlock ones, so the budget is modest: enough to ride out a grant
+// already in flight, not enough to burn a scheduler quantum.
+const semSpinBudget = 64
+
+// grant hands the semaphore to w: the caller has already updated the
+// semaphore state on w's behalf under mu. granted is set before the
+// unpark, which is what makes the handoff immune to lost and stale
+// wakeups and lets the waiter free its node the moment it observes the
+// flag (an in-flight unpark only ever touches the node's parker channel,
+// which survives pooling).
+func (w *semWaiter) grantAndWake() {
+	w.granted.Store(true)
+	w.parker.Unpark()
+}
 
 // RWSem is the "stock" neutral readers-writer semaphore: a single shared
 // structure that every reader and writer serializes through, in the
@@ -13,38 +73,45 @@ import (
 // and that BRAVO/per-socket designs fix (§3.1.1 "Lock switching").
 //
 // Writers waiting block new readers, the usual anti-starvation rule.
+// Waiters spin-then-park (park.Parker) instead of condvar-waiting, so a
+// wait costs no allocation and a missed wakeup heals within one rescue
+// interval.
 type RWSem struct {
 	profBase
-	mu             sync.Mutex
-	readers        int
-	writer         bool
-	writersWaiting int
-	readerCond     *sync.Cond
-	writerCond     *sync.Cond
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	rq, wq  semQueue // queued readers / writers (wq.len ≡ writersWaiting)
 }
 
 // NewRWSem returns a neutral blocking readers-writer semaphore.
 func NewRWSem(name string) *RWSem {
-	s := &RWSem{profBase: profBase{hookable: newHookable(name)}}
-	s.readerCond = sync.NewCond(&s.mu)
-	s.writerCond = sync.NewCond(&s.mu)
-	return s
+	return &RWSem{profBase: profBase{hookable: newHookable(name)}}
+}
+
+// await blocks the calling task until its waiter is granted, then
+// retires the waiter node. Called with mu released.
+func (s *RWSem) await(t *task.T, w *semWaiter) {
+	w.parker.AwaitFlag(&w.granted, semSpinBudget, parkRescueInterval)
+	putSemWaiter(t, w)
 }
 
 // RLock implements RWLock.
 func (s *RWSem) RLock(t *task.T) {
 	start := s.noteAcquire(t)
 	s.mu.Lock()
-	if s.writer || s.writersWaiting > 0 {
+	if !s.writer && s.wq.len == 0 {
+		s.readers++
 		s.mu.Unlock()
-		s.noteContended(t, start)
-		s.mu.Lock()
-		for s.writer || s.writersWaiting > 0 {
-			s.readerCond.Wait()
-		}
+		s.noteAcquired(t, start, true)
+		return
 	}
-	s.readers++
+	w := takeSemWaiter(t)
+	w.reader = true
+	s.rq.push(w)
 	s.mu.Unlock()
+	s.noteContended(t, start)
+	s.await(t, w)
 	s.noteAcquired(t, start, true)
 }
 
@@ -52,7 +119,7 @@ func (s *RWSem) RLock(t *task.T) {
 func (s *RWSem) TryRLock(t *task.T) bool {
 	start := s.noteAcquire(t)
 	s.mu.Lock()
-	if s.writer || s.writersWaiting > 0 {
+	if s.writer || s.wq.len > 0 {
 		s.mu.Unlock()
 		return false
 	}
@@ -71,28 +138,33 @@ func (s *RWSem) RUnlock(t *task.T) {
 		s.mu.Unlock()
 		panic("locks: RUnlock of unlocked RWSem")
 	}
-	if s.readers == 0 && s.writersWaiting > 0 {
-		s.writerCond.Signal()
+	var wake *semWaiter
+	if s.readers == 0 && !s.writer && s.wq.len > 0 {
+		wake = s.wq.pop()
+		s.writer = true
 	}
 	s.mu.Unlock()
+	if wake != nil {
+		wake.grantAndWake()
+	}
 }
 
 // Lock implements Lock (writer side).
 func (s *RWSem) Lock(t *task.T) {
 	start := s.noteAcquire(t)
 	s.mu.Lock()
-	if s.writer || s.readers > 0 {
+	if !s.writer && s.readers == 0 {
+		s.writer = true
 		s.mu.Unlock()
-		s.noteContended(t, start)
-		s.mu.Lock()
+		s.noteAcquired(t, start, false)
+		return
 	}
-	s.writersWaiting++
-	for s.writer || s.readers > 0 {
-		s.writerCond.Wait()
-	}
-	s.writersWaiting--
-	s.writer = true
+	w := takeSemWaiter(t)
+	w.reader = false
+	s.wq.push(w)
 	s.mu.Unlock()
+	s.noteContended(t, start)
+	s.await(t, w)
 	s.noteAcquired(t, start, false)
 }
 
@@ -119,12 +191,30 @@ func (s *RWSem) Unlock(t *task.T) {
 		panic("locks: Unlock of unlocked RWSem")
 	}
 	s.writer = false
-	if s.writersWaiting > 0 {
-		s.writerCond.Signal()
-	} else {
-		s.readerCond.Broadcast()
+	// Next writer if one queued (writers-first, as before); otherwise
+	// admit the whole reader queue in one batch.
+	var wakeWriter, wakeReaders *semWaiter
+	if s.wq.len > 0 {
+		wakeWriter = s.wq.pop()
+		s.writer = true
+	} else if s.rq.len > 0 {
+		wakeReaders = s.rq.head
+		s.readers += s.rq.len
+		s.rq = semQueue{}
 	}
 	s.mu.Unlock()
+	if wakeWriter != nil {
+		wakeWriter.grantAndWake()
+		return
+	}
+	// The batch list is private now: granted waiters free their own
+	// nodes, so read next before granting each.
+	for w := wakeReaders; w != nil; {
+		next := w.next
+		w.next = nil
+		w.grantAndWake()
+		w = next
+	}
 }
 
 // Readers reports the current reader count (tests/monitoring).

@@ -5,7 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"concord/internal/faultinject"
+	"concord/internal/syncx/park"
 	"concord/internal/task"
 )
 
@@ -15,35 +15,28 @@ const (
 	shflHead                 // promoted: now competing for the lock word
 )
 
-// shflNode is one waiter in the ShflLock queue.
+// shflNode is one waiter in the ShflLock queue, pooled per task (see
+// pool.go) and padded past a cache line. Its parker channel is allocated
+// once at node construction and survives pooling, so an unpark in flight
+// from a previous life can never race a reuse; whether *this* life may
+// actually park is the per-acquisition mayPark flag, which also keeps
+// the injected handoff faults (inside park.Unpark) firing only for
+// park-capable waiters — the accounting the chaos suite checks.
 type shflNode struct {
 	Waiter
-	status atomic.Int32
-	next   atomic.Pointer[shflNode]
-	parkCh chan struct{} // nil unless the lock is blocking
+	status  atomic.Int32
+	mayPark atomic.Bool
+	next    atomic.Pointer[shflNode]
+	free    *shflNode
+	park    park.Parker
+	_       [24]byte
 }
 
 func (n *shflNode) unpark() {
-	if n.parkCh == nil {
+	if !n.mayPark.Load() {
 		return
 	}
-	// Injected handoff faults (nil-checks when disarmed): a lost wakeup
-	// drops the signal entirely — the park rescue timer must restore
-	// liveness — and a park delay stretches the handoff.
-	if faultinject.LockLostWakeup.Enabled() {
-		if _, ok := faultinject.LockLostWakeup.Fire(); ok {
-			return
-		}
-	}
-	if faultinject.LockParkDelay.Enabled() {
-		if flt, ok := faultinject.LockParkDelay.Fire(); ok && flt.Delay > 0 {
-			time.Sleep(flt.Delay)
-		}
-	}
-	select {
-	case n.parkCh <- struct{}{}:
-	default:
-	}
+	n.park.Unpark()
 }
 
 // ShflLock is the shuffling lock of Kashyap et al. (SOSP '19), the
@@ -64,9 +57,13 @@ func (n *shflNode) unpark() {
 // policy via disablePolicy.
 type ShflLock struct {
 	hookable
-	locked atomic.Int32
-	tail   atomic.Pointer[shflNode]
+	_      [64]byte
+	locked atomic.Int32 // every waiter CASes this: line of its own
+	_      [60]byte
+	tail   atomic.Pointer[shflNode] // every enqueuer swaps this
+	_      [56]byte
 	qlen   atomic.Int32
+	_      [60]byte
 
 	blocking     atomic.Bool
 	spinBudget   int
@@ -245,10 +242,10 @@ func (l *ShflLock) finishAcquire(t *task.T, start int64) {
 }
 
 func (l *ShflLock) slowPath(t *task.T, start int64) {
-	n := &shflNode{Waiter: Waiter{Task: t, EnqueueNS: l.now()}}
-	if l.blocking.Load() {
-		n.parkCh = make(chan struct{}, 1)
-	}
+	n := takeShflNode(t, l.now())
+	// Fix the park capability for this node life before publication;
+	// waiters already queued keep the mode they enqueued with.
+	n.mayPark.Store(l.blocking.Load())
 	l.qlen.Add(1)
 	prev := l.tail.Swap(n)
 	if prev != nil {
@@ -289,6 +286,10 @@ func (l *ShflLock) slowPath(t *task.T, start int64) {
 		next.unpark()
 	}
 	l.qlen.Add(-1)
+	// n left the queue: the successor (if any) was promoted, any
+	// in-flight enqueuer finished its next-store, and shufflers only run
+	// at the (new) head — n is private again.
+	putShflNode(t, n)
 	l.finishAcquire(t, start)
 }
 
@@ -319,15 +320,15 @@ func (l *ShflLock) waitForHead(n *shflNode) {
 		}
 
 		switch {
-		case decision == WaitParkNow && n.parkCh != nil:
+		case decision == WaitParkNow && n.mayPark.Load():
 			l.park(n)
 		case decision == WaitKeepSpinning:
-			spinYield(i)
+			park.Backoff(i)
 		default:
-			if n.parkCh != nil && i >= l.spinBudget {
+			if n.mayPark.Load() && i >= l.spinBudget {
 				l.park(n)
 			} else {
-				spinYield(i)
+				park.Backoff(i)
 			}
 		}
 	}
@@ -343,16 +344,11 @@ const parkRescueInterval = 2 * time.Millisecond
 
 func (l *ShflLock) park(n *shflNode) {
 	for n.status.Load() != shflHead {
-		timer := time.NewTimer(parkRescueInterval)
-		select {
-		case <-n.parkCh:
-			timer.Stop()
-		case <-timer.C:
-			if n.status.Load() == shflHead {
-				// Promoted but never signalled: a lost wakeup, healed.
-				l.statRescues.Add(1)
-				return
-			}
+		if !n.park.ParkRescue(parkRescueInterval) && n.status.Load() == shflHead {
+			// Promoted but never signalled: a lost wakeup, healed.
+			l.statRescues.Add(1)
+			park.CountRescue()
+			return
 		}
 	}
 }

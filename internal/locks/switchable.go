@@ -35,6 +35,12 @@ type SwitchableRWLock struct {
 	// this lock once at a time (read or write), like a kernel rwsem.
 	held sync.Map // taskID int64 -> *pinned
 
+	// switchMu serializes switch attempts; residual holds the patches of
+	// aborted attempts whose drains are still outstanding (see
+	// switchBounded).
+	switchMu sync.Mutex
+	residual []*livepatch.Patch
+
 	switches atomic.Int64
 	aborts   atomic.Int64
 }
@@ -111,11 +117,34 @@ func (s *SwitchableRWLock) SwitchTimeout(next RWLock, d time.Duration) (*livepat
 }
 
 func (s *SwitchableRWLock) switchBounded(next RWLock, d time.Duration) (*livepatch.Patch, error) {
+	s.switchMu.Lock()
+	defer s.switchMu.Unlock()
 	s.switches.Add(1)
+
+	// An aborted switch rolls back by republishing the old implementation
+	// as a *fresh* livepatch version, which splits that implementation's
+	// holders across two epochs: holders from before the aborted attempt
+	// stay pinned on the original version, which no later Replace drains.
+	// Their patches are kept here as residual drains, and every subsequent
+	// switch's ready gate waits for them too — otherwise a long-lived
+	// pre-abort holder could still be inside its critical section when a
+	// later switch opens the new implementation, breaking exclusion.
+	kept := s.residual[:0]
+	for _, r := range s.residual {
+		if !r.WaitTimeout(0) {
+			kept = append(kept, r)
+		}
+	}
+	s.residual = kept
+	residual := append([]*livepatch.Patch(nil), kept...)
+
 	impl := &rwImpl{l: next, ready: make(chan struct{}), aborted: make(chan struct{})}
 	patch := s.slot.Replace("switch:"+next.Name(), impl)
 	go func() {
 		patch.Wait()
+		for _, r := range residual {
+			r.Wait()
+		}
 		if impl.state.CompareAndSwap(rwPending, rwReady) {
 			close(impl.ready)
 		}
@@ -123,14 +152,22 @@ func (s *SwitchableRWLock) switchBounded(next RWLock, d time.Duration) (*livepat
 	if d <= 0 {
 		return patch, nil
 	}
-	if patch.WaitTimeout(d) {
+	// Bounded switch: wait on the full ready gate (slot drain plus
+	// residual drains), not just the slot drain, so the deadline honours
+	// its degradation promise even behind residue of an earlier abort.
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-impl.ready:
 		return patch, nil
+	case <-timer.C:
 	}
 	if !impl.state.CompareAndSwap(rwPending, rwAborted) {
 		return patch, nil // drain won the race after all
 	}
 	close(impl.aborted)
 	s.aborts.Add(1)
+	s.residual = append(s.residual, patch)
 	// Republish the old implementation; its ready channel is already
 	// closed, so retrying acquirers proceed on it immediately.
 	return patch.Rollback(), ErrSwitchAborted

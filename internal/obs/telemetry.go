@@ -7,6 +7,7 @@ import (
 	"concord/internal/faultinject"
 	"concord/internal/locks"
 	"concord/internal/profile"
+	"concord/internal/syncx/park"
 )
 
 // traceRingOrder sizes the telemetry trace ring (2^13 = 8192 records).
@@ -119,6 +120,22 @@ func NewTelemetry() *Telemetry {
 					Labels: []string{"site", s.Name()}, Value: float64(n)})
 			}
 		}
+	})
+	// Waiter-parking and queue-node-pool counters from the lock hot path.
+	// Both layers count only cold events (parks, pool misses), so reading
+	// them here costs the hot path nothing.
+	reg.AddExternal(func(add func(Sample)) {
+		ps := park.Snapshot()
+		add(Sample{Name: "concord_park_yields_total", Kind: KindCounter,
+			Value: float64(ps.Yields)})
+		add(Sample{Name: "concord_park_parks_total", Kind: KindCounter,
+			Value: float64(ps.Parks)})
+		add(Sample{Name: "concord_park_unparks_total", Kind: KindCounter,
+			Value: float64(ps.Unparks)})
+		add(Sample{Name: "concord_park_rescues_total", Kind: KindCounter,
+			Value: float64(ps.Rescues)})
+		add(Sample{Name: "concord_qnode_allocs_total", Kind: KindCounter,
+			Value: float64(locks.QnodeAllocs())})
 	})
 	return t
 }

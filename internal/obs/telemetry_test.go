@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
 	"concord/internal/locks"
+	"concord/internal/syncx/park"
 	"concord/internal/task"
 	"concord/internal/topology"
 )
@@ -120,5 +122,59 @@ func TestTelemetryTraceJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "wait l") || !strings.Contains(string(data), "hold l") {
 		t.Errorf("trace missing slices: %s", data)
+	}
+}
+
+func TestTelemetryExportsParkAndPoolCounters(t *testing.T) {
+	// Drive one contended blocking acquisition so the park and pool
+	// counters are nonzero, then check they surface in a scrape.
+	topo := topology.New(2, 4)
+	l := locks.NewShflLock("tel-park", locks.WithBlocking(true), locks.WithSpinBudget(0))
+	holder := task.New(topo)
+	l.Lock(holder)
+	base := park.Snapshot()
+	// Two waiters: the queue head spins on the lock word, so only a
+	// non-head waiter exercises the park path.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := task.New(topo)
+			l.Lock(tk)
+			l.Unlock(tk)
+		}()
+	}
+	// Hold until a waiter has demonstrably parked (not merely queued),
+	// so the scrape below is guaranteed a nonzero park/unpark pair.
+	for park.Snapshot().Parks == base.Parks {
+		runtime.Gosched()
+	}
+	l.Unlock(holder)
+	wg.Wait()
+
+	tel := NewTelemetry()
+	var sb strings.Builder
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"concord_park_yields_total",
+		"concord_park_parks_total",
+		"concord_park_unparks_total",
+		"concord_park_rescues_total",
+		"concord_qnode_allocs_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scrape missing %s:\n%s", name, out)
+		}
+	}
+	// The blocking acquisition above must be visible as at least one park
+	// and one unpark (process-global counters, so >= not ==).
+	for _, frag := range []string{"concord_park_parks_total 0\n", "concord_park_unparks_total 0\n"} {
+		if strings.Contains(out, frag) {
+			t.Errorf("counter unexpectedly zero: %s\n%s", frag, out)
+		}
 	}
 }

@@ -1,0 +1,261 @@
+// Package perfstat is the statistics core of the benchmark regression
+// harness (benchstat's method, sized for this repo): repeated-run
+// summaries (mean, sample stddev, 95% CI) and Welch's two-sample t-test
+// to decide whether two summaries differ significantly. cmd/lockbench
+// builds lock × workload × threads matrices of these summaries, writes
+// them as BENCH_*.json baselines, and gates CI on the comparison.
+package perfstat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses repeated measurements of one quantity.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"` // sample (n-1) standard deviation
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize reduces samples to a Summary. Empty input yields a zero
+// Summary.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = samples[0], samples[0]
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var sq float64
+		for _, v := range samples {
+			d := v - s.Mean
+			sq += d * d
+		}
+		s.Stddev = math.Sqrt(sq / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the mean's 95% confidence interval
+// (0 for fewer than two samples).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return tCrit(s.N-1) * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// tCrit returns the two-tailed 5% critical value of Student's t for the
+// given degrees of freedom — the lookup benchstat performs. Fractional
+// df (from Welch–Satterthwaite) round down, the conservative direction.
+func tCrit(df int) float64 {
+	table := []struct {
+		df int
+		t  float64
+	}{
+		{1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+		{6, 2.447}, {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+		{12, 2.179}, {15, 2.131}, {20, 2.086}, {30, 2.042},
+	}
+	if df < 1 {
+		df = 1
+	}
+	crit := 1.960 // asymptote
+	for i := len(table) - 1; i >= 0; i-- {
+		if df <= table[i].df {
+			crit = table[i].t
+		}
+	}
+	return crit
+}
+
+// Delta is the outcome of comparing a new Summary against an old one.
+type Delta struct {
+	// Pct is the relative change of the mean, in percent (positive =
+	// new mean is larger).
+	Pct float64
+	// Significant reports whether Welch's t-test rejects equal means at
+	// the 5% level. With fewer than two samples per side the test
+	// degenerates to an exact comparison of the (then deterministic)
+	// values.
+	Significant bool
+}
+
+// relEps is the relative tolerance below which two deterministic values
+// count as equal (floating-point noise, not a change).
+const relEps = 1e-9
+
+// Compare runs Welch's unequal-variance t-test of new against old.
+func Compare(old, new Summary) Delta {
+	var d Delta
+	if old.Mean != 0 {
+		d.Pct = (new.Mean - old.Mean) / math.Abs(old.Mean) * 100
+	} else if new.Mean != 0 {
+		d.Pct = math.Inf(1)
+	}
+	// Degenerate cases: deterministic sources (the ksim cells) or
+	// single-run smoke baselines have zero variance; equal means pass,
+	// different means are a real change by construction.
+	va, vb := old.Stddev*old.Stddev, new.Stddev*new.Stddev
+	if old.N < 2 || new.N < 2 || (va == 0 && vb == 0) {
+		diff := math.Abs(new.Mean - old.Mean)
+		scale := math.Max(math.Abs(old.Mean), math.Abs(new.Mean))
+		d.Significant = diff > relEps*scale && diff != 0
+		return d
+	}
+	// Welch statistic and Welch–Satterthwaite degrees of freedom.
+	sa, sb := va/float64(old.N), vb/float64(new.N)
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		d.Significant = math.Abs(new.Mean-old.Mean) > relEps*math.Abs(old.Mean)
+		return d
+	}
+	t := math.Abs(new.Mean-old.Mean) / se
+	df := (sa + sb) * (sa + sb) /
+		(sa*sa/float64(old.N-1) + sb*sb/float64(new.N-1))
+	d.Significant = t > tCrit(int(df))
+	return d
+}
+
+// --- Repeated-run measurement ---
+
+// Measure runs fn runs times and summarizes the returned values. The
+// first call's value can be discarded as warmup by passing warmup=true
+// (it still runs, it just doesn't count).
+func Measure(runs int, warmup bool, fn func() float64) Summary {
+	if runs < 1 {
+		runs = 1
+	}
+	if warmup {
+		fn()
+	}
+	samples := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		samples = append(samples, fn())
+	}
+	return Summarize(samples)
+}
+
+// --- Baseline schema ---
+
+// Schema identifies the BENCH_*.json layout this package writes.
+const Schema = "concord-perfstat/1"
+
+// Cell is one lock × workload × threads measurement.
+type Cell struct {
+	Lock     string `json:"lock"`
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+	// OpsPerMSec summarizes throughput over the repeated runs.
+	OpsPerMSec Summary `json:"ops_per_msec"`
+	// AllocsPerOp is the measured heap allocations per contended
+	// acquire/release pair (real-lock cells; -1 when not measured).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Key identifies the cell within a baseline.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%d", c.Lock, c.Workload, c.Threads)
+}
+
+// Baseline is one BENCH_*.json artifact: a matrix of cells plus the
+// knobs that shaped it.
+type Baseline struct {
+	Schema  string `json:"schema"`
+	Label   string `json:"label"`
+	Pooling bool   `json:"pooling"`
+	Runs    int    `json:"runs"`
+	Cells   []Cell `json:"cells"`
+}
+
+// Index returns the baseline's cells keyed by Cell.Key.
+func (b *Baseline) Index() map[string]Cell {
+	m := make(map[string]Cell, len(b.Cells))
+	for _, c := range b.Cells {
+		m[c.Key()] = c
+	}
+	return m
+}
+
+// --- Regression comparison ---
+
+// allocsEps absorbs measurement noise in allocs/op (a stray GC
+// assist or pool miss during the probe window).
+const allocsEps = 0.05
+
+// CellResult is the verdict for one cell of a regression comparison.
+type CellResult struct {
+	Cell    Cell // the new measurement
+	Old     *Summary
+	OldAllc float64
+	Delta   Delta
+	Verdict string // "ok", "faster", "SLOWER", "ALLOCS", "new"
+}
+
+// Regressed reports whether this cell fails the gate.
+func (r CellResult) Regressed() bool {
+	return r.Verdict == "SLOWER" || r.Verdict == "ALLOCS"
+}
+
+// CompareBaselines judges every cell of new against old. A cell fails
+// ("SLOWER") when its throughput dropped significantly by more than
+// slackPct percent — the slack absorbs environment drift benchstat
+// can't, since CI baselines come from other machines. It fails
+// ("ALLOCS") when allocs/op grew beyond noise. Cells absent from the
+// old baseline are reported as "new" and pass.
+func CompareBaselines(old, new *Baseline, slackPct float64) []CellResult {
+	oldIdx := old.Index()
+	out := make([]CellResult, 0, len(new.Cells))
+	for _, c := range new.Cells {
+		r := CellResult{Cell: c, Verdict: "ok"}
+		o, seen := oldIdx[c.Key()]
+		if !seen {
+			r.Verdict = "new"
+			out = append(out, r)
+			continue
+		}
+		os := o.OpsPerMSec
+		r.Old = &os
+		r.OldAllc = o.AllocsPerOp
+		r.Delta = Compare(os, c.OpsPerMSec)
+		switch {
+		case c.AllocsPerOp >= 0 && o.AllocsPerOp >= 0 &&
+			c.AllocsPerOp > o.AllocsPerOp+allocsEps:
+			r.Verdict = "ALLOCS"
+		case r.Delta.Significant && r.Delta.Pct < -slackPct:
+			r.Verdict = "SLOWER"
+		case r.Delta.Significant && r.Delta.Pct > slackPct:
+			r.Verdict = "faster"
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Cell.Key() < out[j].Cell.Key()
+	})
+	return out
+}
+
+// AnyRegression reports whether any cell failed the gate.
+func AnyRegression(results []CellResult) bool {
+	for _, r := range results {
+		if r.Regressed() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package perfstat
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, data string) error { return os.WriteFile(path, []byte(data), 0o644) }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+	if s.CI95() <= 0 {
+		t.Fatal("CI95 must be positive for varying samples")
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", z)
+	}
+}
+
+func TestCompareDistinguishesSeparatedSamples(t *testing.T) {
+	old := Summarize([]float64{100, 101, 99, 100, 100})
+	new_ := Summarize([]float64{110, 111, 109, 110, 110})
+	d := Compare(old, new_)
+	if !d.Significant {
+		t.Fatal("clearly separated samples judged insignificant")
+	}
+	if d.Pct < 9 || d.Pct > 11 {
+		t.Fatalf("delta = %v%%, want ~10%%", d.Pct)
+	}
+}
+
+func TestCompareOverlappingSamplesInsignificant(t *testing.T) {
+	old := Summarize([]float64{100, 120, 90, 110, 95})
+	new_ := Summarize([]float64{105, 95, 115, 100, 108})
+	if d := Compare(old, new_); d.Significant {
+		t.Fatalf("overlapping samples judged significant: %+v", d)
+	}
+}
+
+func TestCompareDeterministicCells(t *testing.T) {
+	// ksim cells have zero variance: equality passes, any change flags.
+	same := Summarize([]float64{42, 42})
+	if d := Compare(same, same); d.Significant {
+		t.Fatal("identical deterministic values judged significant")
+	}
+	if d := Compare(same, Summarize([]float64{43, 43})); !d.Significant {
+		t.Fatal("changed deterministic value judged insignificant")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	calls := 0
+	s := Measure(3, true, func() float64 { calls++; return float64(calls) })
+	if calls != 4 {
+		t.Fatalf("fn called %d times, want 4 (1 warmup + 3)", calls)
+	}
+	if s.N != 3 || s.Min != 2 || s.Max != 4 {
+		t.Fatalf("warmup sample leaked into summary: %+v", s)
+	}
+}
+
+func testBaseline(allocs float64, mean ...float64) *Baseline {
+	return &Baseline{
+		Runs: len(mean),
+		Cells: []Cell{{
+			Lock: "mcs", Workload: "lock2", Threads: 8,
+			OpsPerMSec:  Summarize(mean),
+			AllocsPerOp: allocs,
+		}},
+	}
+}
+
+func TestCompareBaselinesGates(t *testing.T) {
+	old := testBaseline(1.0, 100, 101, 99, 100, 100)
+
+	// Faster and alloc-free: passes, reported as faster.
+	res := CompareBaselines(old, testBaseline(0, 130, 131, 129, 130, 130), 5)
+	if len(res) != 1 || res[0].Regressed() || res[0].Verdict != "faster" {
+		t.Fatalf("improvement misjudged: %+v", res)
+	}
+
+	// Significantly slower beyond slack: fails.
+	res = CompareBaselines(old, testBaseline(0, 80, 81, 79, 80, 80), 5)
+	if !res[0].Regressed() || res[0].Verdict != "SLOWER" {
+		t.Fatalf("regression not flagged: %+v", res)
+	}
+	if !AnyRegression(res) {
+		t.Fatal("AnyRegression missed the failure")
+	}
+
+	// Slower but within slack: passes.
+	res = CompareBaselines(old, testBaseline(1.0, 97, 98, 96, 97, 97), 5)
+	if res[0].Regressed() {
+		t.Fatalf("within-slack delta failed the gate: %+v", res)
+	}
+
+	// Alloc growth fails even at equal throughput.
+	res = CompareBaselines(old, testBaseline(2.0, 100, 101, 99, 100, 100), 5)
+	if res[0].Verdict != "ALLOCS" {
+		t.Fatalf("alloc growth not flagged: %+v", res)
+	}
+
+	// Unknown cell in the new run: reported, passes.
+	newb := testBaseline(0, 100, 100)
+	newb.Cells[0].Lock = "brand-new"
+	res = CompareBaselines(old, newb, 5)
+	if res[0].Verdict != "new" || res[0].Regressed() {
+		t.Fatalf("new cell misjudged: %+v", res)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	b := testBaseline(0.5, 10, 11, 12)
+	b.Label = "trip"
+	b.Pooling = true
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "trip" || !got.Pooling || len(got.Cells) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Cells[0].OpsPerMSec.Mean != 11 {
+		t.Fatalf("cell mean = %v, want 11", got.Cells[0].OpsPerMSec.Mean)
+	}
+}
+
+func TestReadBaselineRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	b := testBaseline(0, 1)
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schema marker on disk.
+	data := `{"schema":"something-else/9","cells":[]}`
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	old := testBaseline(1.0, 100, 101, 99)
+	res := CompareBaselines(old, testBaseline(0, 120, 121, 119), 5)
+	var sb strings.Builder
+	if err := FormatResults(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mcs", "lock2", "faster", "ops/ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package perfstat
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WriteBaseline writes b as indented JSON to path.
+func WriteBaseline(path string, b *Baseline) error {
+	b.Schema = Schema
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a BENCH_*.json baseline from path.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, Schema)
+	}
+	return &b, nil
+}
+
+// fmtAllocs renders an allocs/op value (-1 means not measured).
+func fmtAllocs(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// FormatResults renders the benchstat-style pass/fail delta table.
+func FormatResults(w io.Writer, results []CellResult) error {
+	if _, err := fmt.Fprintf(w, "%-14s %-12s %4s %14s %14s %9s %8s %8s  %s\n",
+		"lock", "workload", "thr", "old ops/ms", "new ops/ms", "delta",
+		"allocs", "→allocs", "verdict"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		c := r.Cell
+		oldMean, oldAllc := "-", "-"
+		delta := "-"
+		if r.Old != nil {
+			oldMean = fmt.Sprintf("%.1f±%.1f", r.Old.Mean, r.Old.CI95())
+			oldAllc = fmtAllocs(r.OldAllc)
+			if !math.IsInf(r.Delta.Pct, 0) {
+				delta = fmt.Sprintf("%+.1f%%", r.Delta.Pct)
+				if !r.Delta.Significant {
+					delta += "~" // statistically indistinguishable
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-14s %-12s %4d %14s %14s %9s %8s %8s  %s\n",
+			c.Lock, c.Workload, c.Threads,
+			oldMean,
+			fmt.Sprintf("%.1f±%.1f", c.OpsPerMSec.Mean, c.OpsPerMSec.CI95()),
+			delta, oldAllc, fmtAllocs(c.AllocsPerOp), r.Verdict); err != nil {
+			return err
+		}
+	}
+	return nil
+}

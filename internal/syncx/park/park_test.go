@@ -1,0 +1,146 @@
+package park
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"concord/internal/faultinject"
+)
+
+func TestParkerPendingSignalNotLost(t *testing.T) {
+	var p Parker
+	p.Init()
+	// Post before parking: the signal must be remembered.
+	p.Unpark()
+	done := make(chan struct{})
+	go func() { p.Park(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pre-posted unpark was lost")
+	}
+}
+
+func TestParkerAtMostOnePending(t *testing.T) {
+	var p Parker
+	p.Init()
+	p.Unpark()
+	p.Unpark()
+	p.Unpark()
+	p.Park() // consumes the single pending signal
+	select {
+	case <-p.ch:
+		t.Fatal("more than one signal was pending")
+	default:
+	}
+}
+
+func TestParkerDrain(t *testing.T) {
+	var p Parker
+	p.Init()
+	p.Unpark()
+	p.Drain()
+	if !p.ParkRescue(time.Millisecond) {
+		return // timed out: the drained signal was gone, as intended
+	}
+	t.Fatal("drained signal was still delivered")
+}
+
+func TestParkRescueTimesOut(t *testing.T) {
+	var p Parker
+	p.Init()
+	start := time.Now()
+	if p.ParkRescue(5 * time.Millisecond) {
+		t.Fatal("ParkRescue reported a signal; none was posted")
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("ParkRescue returned before the rescue interval")
+	}
+	// The timer must be reusable after firing.
+	p.Unpark()
+	if !p.ParkRescue(time.Second) {
+		t.Fatal("reused ParkRescue missed a pending signal")
+	}
+}
+
+func TestUnparkOnZeroParkerIsNoop(t *testing.T) {
+	var p Parker
+	p.Unpark() // no Init: must not panic or count
+}
+
+func TestAwaitFlagSpinPath(t *testing.T) {
+	var p Parker
+	p.Init()
+	var done atomic.Bool
+	done.Store(true)
+	if r := p.AwaitFlag(&done, 8, time.Second); r != 0 {
+		t.Fatalf("spin-path await reported %d rescues", r)
+	}
+}
+
+func TestAwaitFlagParkPath(t *testing.T) {
+	var p Parker
+	p.Init()
+	var done atomic.Bool
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		done.Store(true) // flag before signal: the required ordering
+		p.Unpark()
+	}()
+	p.AwaitFlag(&done, 0, time.Second)
+	if !done.Load() {
+		t.Fatal("AwaitFlag returned before the flag was set")
+	}
+}
+
+func TestAwaitFlagRescuesLostWakeup(t *testing.T) {
+	var p Parker
+	p.Init()
+	var done atomic.Bool
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		done.Store(true)
+		// No Unpark: simulate a waker that died after setting the flag.
+	}()
+	if r := p.AwaitFlag(&done, 0, 5*time.Millisecond); r == 0 {
+		t.Fatal("missed wakeup was not recovered via rescue")
+	}
+}
+
+func TestUnparkLostWakeupFault(t *testing.T) {
+	faultinject.LockLostWakeup.Arm(faultinject.Config{Probability: 1, MaxFires: 1})
+	defer faultinject.LockLostWakeup.Disarm()
+	var p Parker
+	p.Init()
+	p.Unpark() // dropped by the fault
+	select {
+	case <-p.ch:
+		t.Fatal("lost-wakeup fault did not drop the signal")
+	default:
+	}
+	p.Unpark() // MaxFires exhausted: delivered
+	select {
+	case <-p.ch:
+	default:
+		t.Fatal("signal after fault exhaustion was not delivered")
+	}
+}
+
+func TestBackoffCountsYields(t *testing.T) {
+	before := Snapshot().Yields
+	for i := 0; i < 4*spinSaturatedIters; i++ {
+		Backoff(i)
+	}
+	if got := Snapshot().Yields - before; got == 0 {
+		t.Fatal("saturated backoff performed no yields")
+	}
+	// The fast band must be yield-free.
+	before = Snapshot().Yields
+	for i := 0; i < spinFastIters; i++ {
+		Backoff(i)
+	}
+	if got := Snapshot().Yields - before; got != 0 {
+		t.Fatalf("fast spin band yielded %d times", got)
+	}
+}

@@ -1,0 +1,22 @@
+package syncx
+
+import "concord/internal/syncx/park"
+
+// Parker is the adaptive spin-then-park waiter primitive: bounded
+// exponential spin, then a rescue-timer-guarded park with
+// lost-wakeup-safe handoff. It is implemented in the leaf package
+// internal/syncx/park (which sits below internal/locks so the blocking
+// lock slow paths can use it too) and re-exported here as the package's
+// public face.
+type Parker = park.Parker
+
+// ParkStats is a snapshot of the process-wide spin/park counters.
+type ParkStats = park.Stats
+
+// ParkSnapshot returns the process-wide spin/park counters.
+func ParkSnapshot() ParkStats { return park.Snapshot() }
+
+// SpinBackoff performs the i-th iteration of an adaptive spin wait:
+// free re-checks first, then geometrically more frequent scheduler
+// yields until every iteration yields.
+func SpinBackoff(i int) { park.Backoff(i) }

@@ -41,10 +41,13 @@ func TestSeqLockReadersSeeConsistentPairs(t *testing.T) {
 			}
 		}()
 	}
+	var readers sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
+		readers.Add(1)
 		go func() {
 			defer wg.Done()
+			defer readers.Done()
 			for i := 0; i < 2000; i++ {
 				var ga, gb int64
 				s.Read(func() {
@@ -58,12 +61,10 @@ func TestSeqLockReadersSeeConsistentPairs(t *testing.T) {
 			}
 		}()
 	}
-	// Stop writers once the readers are done: do so by closing after a
-	// short grace; readers loop a fixed count.
-	go func() {
-		time.Sleep(100 * time.Millisecond)
-		close(stop)
-	}()
+	// Writers run exactly as long as the readers need them: stop when the
+	// last fixed-count reader finishes, with no wall-clock grace period.
+	readers.Wait()
+	close(stop)
 	wg.Wait()
 	if s.Retries() == 0 {
 		t.Log("no retries observed (low contention run)")

@@ -67,6 +67,16 @@ type T struct {
 	// the task's own goroutine touches it (events are emitted on the
 	// acquiring/releasing path), so it needs no synchronisation.
 	hookScratch any
+
+	// nodeCache holds per-class free lists of lock queue nodes, so a
+	// contended acquire reuses the node freed by a previous acquisition
+	// instead of heap-allocating (a kernel thread keeps its MCS node on
+	// its stack; a goroutine keeps it here). Owner-goroutine only, like
+	// hookScratch: nodes are taken on the acquiring path and returned on
+	// the path of the same task, so no synchronisation is needed. The
+	// cached values are chained through intrusive links the owning lock
+	// package manages; this package only stores the list heads.
+	nodeCache [MaxNodeClasses]any
 }
 
 // New creates a task pinned to a fresh virtual CPU of topo (round-robin).
@@ -208,6 +218,39 @@ func (t *T) CSCount() int64 { return t.csCount.Load() }
 
 // CSLast returns the duration of the most recent critical section.
 func (t *T) CSLast() int64 { return t.csLastNS.Load() }
+
+// --- Per-task lock-node caches (alloc-free queue locks) ---
+
+// MaxNodeClasses bounds how many distinct node cache classes can be
+// registered process-wide. Each queue-lock node type claims one class at
+// package init; 8 leaves headroom over the current roster.
+const MaxNodeClasses = 8
+
+var nodeClasses atomic.Int32
+
+// AllocNodeClass reserves a new node-cache class ID. Called from package
+// init of the lock implementations (before any task exists), so class
+// IDs are stable for the process lifetime.
+func AllocNodeClass() int {
+	c := nodeClasses.Add(1) - 1
+	if int(c) >= MaxNodeClasses {
+		panic("task: node cache classes exhausted; raise MaxNodeClasses")
+	}
+	return int(c)
+}
+
+// TakeNode removes and returns the head of the task's node free list for
+// class (nil if empty). Owner-goroutine only.
+func (t *T) TakeNode(class int) any {
+	n := t.nodeCache[class]
+	t.nodeCache[class] = nil
+	return n
+}
+
+// PutNode stores n as the new head of the class free list. Owner-
+// goroutine only; the caller chains the previous head into n before
+// storing if it wants a list deeper than one.
+func (t *T) PutNode(class int, n any) { t.nodeCache[class] = n }
 
 // TakeScratch removes and returns the task's scratch value (nil if
 // absent or already taken). Taking rather than borrowing keeps nested
