@@ -143,6 +143,7 @@ func cmdServe(args []string, stdout io.Writer) error {
 	rows := sess.fw.LockRows()
 	fmt.Fprintf(stdout, "served %s of load; final lock stats:\n", *duration)
 	printLockTable(stdout, rows)
+	printPolicyMapTable(stdout, sess.fw.PolicyRows())
 	return nil
 }
 
@@ -163,8 +164,10 @@ func cmdTop(args []string, stdout io.Writer) error {
 	}
 
 	var rows func() ([]concord.LockRow, error)
+	var prows func() ([]concord.PolicyRow, error)
 	if *addr != "" {
 		rows = func() ([]concord.LockRow, error) { return scrapeLockRows(*addr) }
+		prows = func() ([]concord.PolicyRow, error) { return scrapePolicyRows(*addr) }
 	} else {
 		sess, err := startServeSession(*policyName, *workers, *ops)
 		if err != nil {
@@ -174,6 +177,7 @@ func cmdTop(args []string, stdout io.Writer) error {
 			sess.runWorkload()
 			return sess.fw.LockRows(), nil
 		}
+		prows = func() ([]concord.PolicyRow, error) { return sess.fw.PolicyRows(), nil }
 	}
 	for i := 0; *n == 0 || i < *n; i++ {
 		if i > 0 {
@@ -184,6 +188,11 @@ func cmdTop(args []string, stdout io.Writer) error {
 			return err
 		}
 		printLockTable(stdout, rs)
+		ps, err := prows()
+		if err != nil {
+			return err
+		}
+		printPolicyMapTable(stdout, ps)
 	}
 	return nil
 }
@@ -203,6 +212,49 @@ func scrapeLockRows(addr string) ([]concord.LockRow, error) {
 		return nil, fmt.Errorf("top: decoding /locks: %w", err)
 	}
 	return rows, nil
+}
+
+// scrapePolicyRows fetches /policies from a running telemetry server.
+func scrapePolicyRows(addr string) ([]concord.PolicyRow, error) {
+	resp, err := http.Get("http://" + addr + "/policies")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("top: %s/policies: %s", addr, resp.Status)
+	}
+	var rows []concord.PolicyRow
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("top: decoding /policies: %w", err)
+	}
+	return rows, nil
+}
+
+// printPolicyMapTable renders the map data plane of each loaded policy:
+// occupancy against capacity, insert-probe collisions, and optimistic
+// read retries. Policies without maps are omitted; no table prints when
+// nothing has one.
+func printPolicyMapTable(w io.Writer, rows []concord.PolicyRow) {
+	any := false
+	for _, r := range rows {
+		if len(r.Maps) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "POLICY\tMAP\tKIND\tOCC\tCAP\tCOLL\tRETRY")
+	for _, r := range rows {
+		for _, m := range r.Maps {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+				r.Name, m.Name, m.Kind, m.Occupancy, m.MaxEntries, m.Collisions, m.Retries)
+		}
+	}
+	tw.Flush()
 }
 
 // printLockTable renders lock rows (already sorted most-waited-first).

@@ -122,3 +122,27 @@ func TestFmtDur(t *testing.T) {
 		}
 	}
 }
+
+func TestPolicyMapTable(t *testing.T) {
+	// No policy has maps: the table is omitted entirely.
+	var empty strings.Builder
+	printPolicyMapTable(&empty, []concord.PolicyRow{{Name: "numa"}})
+	if empty.Len() != 0 {
+		t.Errorf("map table printed with no maps:\n%s", empty.String())
+	}
+
+	var sb strings.Builder
+	printPolicyMapTable(&sb, []concord.PolicyRow{{
+		Name: "prof",
+		Maps: []concord.MapRow{
+			{Name: "waits", Kind: "percpu_hash", Occupancy: 4, MaxEntries: 64},
+			{Name: "seen", Kind: "hash", Occupancy: 2, MaxEntries: 16, Collisions: 3, Retries: 1},
+		},
+	}})
+	out := sb.String()
+	for _, want := range []string{"POLICY", "MAP", "KIND", "prof", "waits", "percpu_hash", "seen", "hash"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("map table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,7 +20,7 @@
 //
 // Regression mode (the perfstat harness):
 //
-//	lockbench -regress [-baseline BENCH_seed.json] [-regress-out BENCH_4.json]
+//	lockbench -regress [-baseline BENCH_4.json] [-regress-out BENCH_5.json]
 //	          [-runs 5] [-ops N] [-pooling on|off] [-slack 5]
 //
 // measures the lock × workload matrix (real locks on hashtable / lock2 /
@@ -57,7 +57,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this (0 = no deadline); keeps a wedged benchmark from hanging CI")
 	regress := flag.Bool("regress", false, "run the perfstat regression matrix instead of a figure")
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare the -regress run against")
-	regressOut := flag.String("regress-out", "BENCH_4.json", "where -regress writes the new baseline")
+	regressOut := flag.String("regress-out", "BENCH_5.json", "where -regress writes the new baseline")
 	runs := flag.Int("runs", 5, "repeated measurements per -regress cell")
 	workers := flag.Int("workers", 8, "workers per real-lock -regress cell")
 	pooling := flag.String("pooling", "on", "queue-node pooling during -regress: on | off")

@@ -220,6 +220,18 @@ var (
 // NewPerCPUArrayMap builds a per-virtual-CPU array map.
 var NewPerCPUArrayMap = policy.NewPerCPUArrayMap
 
+// NewPerCPUHashMap builds a lock-free hash map with one value stripe
+// per virtual CPU — the right kind for hot counting policies.
+var NewPerCPUHashMap = policy.NewPerCPUHashMap
+
+// NewLockedHashMap builds the mutex-based hash map kind (unbounded key
+// sizes; the lock-free NewHashMap is preferred on hot paths).
+var NewLockedHashMap = policy.NewLockedHashMap
+
+// MapStats is a map's data-plane telemetry snapshot (occupancy,
+// insert-probe collisions, optimistic read retries).
+type MapStats = policy.MapStats
+
 // --- Profiling (§3.2) ---
 
 // Profiler collects per-lock-instance statistics.

@@ -6,6 +6,7 @@ import (
 	"concord/internal/livepatch"
 	"concord/internal/locks"
 	"concord/internal/obs"
+	"concord/internal/policy"
 )
 
 // EnableTelemetry attaches a telemetry bundle to the framework. Every
@@ -68,6 +69,59 @@ func (f *Framework) EnableTelemetry(t *obs.Telemetry) {
 
 	t.Registry.AddExternal(f.collectVMStats)
 	t.Registry.AddExternal(f.collectLockRobustness)
+	t.Registry.AddExternal(f.collectMapStats)
+}
+
+// collectMapStats emits the map-plane counters of every loaded policy's
+// maps (kinds implementing policy.StatsProvider): live occupancy,
+// insert-probe collisions, and optimistic read-path retries. The maps
+// keep their own atomics; the registry reads them only at scrape time.
+func (f *Framework) collectMapStats(add func(obs.Sample)) {
+	for _, pm := range f.policyMaps() {
+		st := pm.stats.MapStats()
+		labels := []string{"policy", pm.policy, "map", pm.m.Name(), "kind", policy.MapKindOf(pm.m)}
+		add(obs.Sample{Name: "concord_map_occupancy", Kind: obs.KindGauge,
+			Labels: labels, Value: float64(st.Occupancy)})
+		add(obs.Sample{Name: "concord_map_collisions_total", Kind: obs.KindCounter,
+			Labels: labels, Value: float64(st.Collisions)})
+		add(obs.Sample{Name: "concord_map_optimistic_retries_total", Kind: obs.KindCounter,
+			Labels: labels, Value: float64(st.Retries)})
+	}
+}
+
+type policyMap struct {
+	policy string
+	m      policy.Map
+	stats  policy.StatsProvider
+}
+
+// policyMaps lists each stats-capable map of every loaded policy once,
+// even when several of the policy's programs share it.
+func (f *Framework) policyMaps() []policyMap {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []policyMap
+	for name, p := range f.policies {
+		seen := make(map[policy.Map]bool)
+		for _, prog := range p.Programs {
+			for _, m := range prog.Maps {
+				if seen[m] {
+					continue
+				}
+				seen[m] = true
+				if sp, ok := m.(policy.StatsProvider); ok {
+					out = append(out, policyMap{name, m, sp})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].policy != out[j].policy {
+			return out[i].policy < out[j].policy
+		}
+		return out[i].m.Name() < out[j].m.Name()
+	})
+	return out
 }
 
 // collectLockRobustness emits per-lock robustness counters kept by the
@@ -173,6 +227,17 @@ type PolicyRow struct {
 	HelperCalls int64    `json:"vm_helper_calls"`
 	MapOps      int64    `json:"vm_map_ops"`
 	Faults      int64    `json:"vm_faults"`
+	Maps        []MapRow `json:"maps,omitempty"`
+}
+
+// MapRow is one policy map's data-plane summary.
+type MapRow struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Occupancy  int64  `json:"occupancy"`
+	MaxEntries int    `json:"max_entries"`
+	Collisions uint64 `json:"collisions"`
+	Retries    uint64 `json:"optimistic_retries"`
 }
 
 // PolicyRows summarizes every loaded policy: hook kinds, attachment
@@ -193,6 +258,7 @@ func (f *Framework) PolicyRows() []PolicyRow {
 			}
 		}
 		sort.Strings(row.AttachedTo)
+		seen := make(map[policy.Map]bool)
 		for _, prog := range p.Programs {
 			st := prog.Stats()
 			row.Runs += st.Runs.Load()
@@ -200,7 +266,20 @@ func (f *Framework) PolicyRows() []PolicyRow {
 			row.HelperCalls += st.HelperCalls.Load()
 			row.MapOps += st.MapOps.Load()
 			row.Faults += st.Faults.Load()
+			for _, m := range prog.Maps {
+				if seen[m] {
+					continue
+				}
+				seen[m] = true
+				mr := MapRow{Name: m.Name(), Kind: policy.MapKindOf(m), MaxEntries: m.MaxEntries()}
+				if sp, ok := m.(policy.StatsProvider); ok {
+					st := sp.MapStats()
+					mr.Occupancy, mr.Collisions, mr.Retries = st.Occupancy, st.Collisions, st.Retries
+				}
+				row.Maps = append(row.Maps, mr)
+			}
 		}
+		sort.Slice(row.Maps, func(i, j int) bool { return row.Maps[i].Name < row.Maps[j].Name })
 		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })

@@ -102,6 +102,53 @@ func CBPFNumaCmp() ksim.CmpFunc {
 // nativeNumaCmp is the pre-compiled comparison point.
 func nativeNumaCmp(s, c *ksim.Proc) bool { return s.Socket == c.Socket }
 
+// ProfiledNumaCmpProgram is the NUMA-grouping cmp_node policy with a
+// profiling side-channel: every shuffler examination bumps a per-socket
+// counter in a hash map before comparing sockets. map_add is a
+// read-only-path helper, so this is legal on the shuffler fast path —
+// it is the map-heavy scenario the lock-free map plane exists for.
+func ProfiledNumaCmpProgram(exams policy.Map) *policy.Program {
+	p := policy.MustAssemble("numa-prof", policy.KindCmpNode, `
+		mov   r6, r1
+		ldxdw r2, [r6+curr_socket]
+		stxdw [fp-8], r2
+		ldmap r1, exams
+		mov   r2, fp
+		add   r2, -8
+		mov   r3, 1
+		call  map_add
+		ldxdw r2, [r6+curr_socket]
+		ldxdw r3, [r6+shuffler_socket]
+		jeq   r2, r3, group
+		mov   r0, 0
+		exit
+	group:
+		mov   r0, 1
+		exit
+	`, map[string]policy.Map{"exams": exams})
+	if _, err := policy.Verify(p); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CBPFProfiledNumaCmp wraps ProfiledNumaCmpProgram as a simulator
+// cmp_node decision, counting examinations per socket in m as it goes.
+func CBPFProfiledNumaCmp(m policy.Map) ksim.CmpFunc {
+	prog := ProfiledNumaCmpProgram(m)
+	layout := policy.LayoutFor(policy.KindCmpNode)
+	sSlot := layout.Slot("shuffler_socket")
+	cSlot := layout.Slot("curr_socket")
+	return func(shuffler, curr *ksim.Proc) bool {
+		var words [32]uint64
+		ctx := policy.Ctx{Layout: layout, Words: words[:len(layout.Fields)]}
+		ctx.Words[sSlot] = uint64(shuffler.Socket)
+		ctx.Words[cSlot] = uint64(curr.Socket)
+		ret, err := policy.Exec(prog, &ctx, nil)
+		return err == nil && ret != 0
+	}
+}
+
 // Figure2a regenerates Figure 2(a): page_fault2 over Stock (neutral
 // rwsem), BRAVO, and Concord-BRAVO (BRAVO with hook dispatch on the
 // read path).

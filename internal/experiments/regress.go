@@ -7,6 +7,7 @@ import (
 	"concord/internal/ksim"
 	"concord/internal/locks"
 	"concord/internal/perfstat"
+	"concord/internal/policy"
 	"concord/internal/task"
 	"concord/internal/topology"
 	"concord/internal/workloads"
@@ -111,11 +112,35 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 		}),
 	})
 
+	// Map data plane × the counting-policy program: the same verified,
+	// natively-compiled map_add+map_lookup policy driven against each
+	// policy-map kind. These cells measure helper/map overhead on the
+	// lock slow path, which is why the allocs probe (steady state, map
+	// pre-populated) must read 0.00 for the preallocated kinds.
+	for _, mp := range mapPlaneKinds(cfg.Threads) {
+		mp := mp
+		probe := workloads.RunMapPlane(mp.mk(), workloads.MapPlaneConfig{
+			Workers: cfg.Threads, OpsPerWorker: cfg.Ops,
+			Keys: mapPlaneKeys, NumCPUs: cfg.Threads, MeasureAlloc: true,
+		})
+		b.Cells = append(b.Cells, perfstat.Cell{
+			Lock: mp.name, Workload: "map_plane", Threads: cfg.Threads,
+			AllocsPerOp: probe.AllocsPerOp,
+			OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+				return workloads.RunMapPlane(mp.mk(), workloads.MapPlaneConfig{
+					Workers: cfg.Threads, OpsPerWorker: cfg.Ops * 4,
+					Keys: mapPlaneKeys, NumCPUs: cfg.Threads,
+				}).OpsPerMSec()
+			}),
+		})
+	}
+
 	// ksim Figure-2 sweep: deterministic (seeded discrete-event runs), so
 	// any delta against the baseline is a behavioral change in the
 	// simulated algorithms or their policies, not noise.
 	c := ksim.DefaultCosts()
 	cbpf := CBPFNumaCmp()
+	cbpfProf := CBPFProfiledNumaCmp(policy.NewHashMap("bench-exams", 8, 8, 16))
 	simSeries := []struct {
 		lock, workload string
 		w              ksim.Workload
@@ -127,6 +152,12 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimShfl(e, c, nativeNumaCmp, 0) }},
 		{"sim-shfl-cbpf", "lock2", lock2Sim,
 			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimShfl(e, c, cbpf, c.DispatchNS) }},
+		// The profiled variant runs the map-heavy cmp_node policy on
+		// every shuffler examination; the sim result is deterministic
+		// regardless of map implementation, so this cell pins policy
+		// *behavior* while the map_plane cells above pin its *cost*.
+		{"sim-shfl-cbpf-prof", "lock2", lock2Sim,
+			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimShfl(e, c, cbpfProf, c.DispatchNS) }},
 		{"sim-rwsem", "page_fault2", pageFault2Sim,
 			func(e *ksim.Engine) ksim.SimLock { return ksim.NewSimRWSem(e, c) }},
 		{"sim-bravo", "page_fault2", pageFault2Sim,
@@ -144,6 +175,34 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 		}
 	}
 	return b
+}
+
+// mapPlaneKeys is the key-space size of the map_plane cells: small
+// enough to stay resident, large enough that open-addressing probe
+// behavior (not just a single hot slot) is in the measurement.
+const mapPlaneKeys = 256
+
+// mapPlaneKinds is the roster of policy-map constructors the map_plane
+// cells measure. Capacities leave headroom over mapPlaneKeys so the
+// cell measures steady-state operation, not full-map behavior.
+func mapPlaneKinds(workers int) []struct {
+	name string
+	mk   func() policy.Map
+} {
+	return []struct {
+		name string
+		mk   func() policy.Map
+	}{
+		{"map-hash", func() policy.Map {
+			return policy.NewHashMap("bench-map", 8, 8, 2*mapPlaneKeys)
+		}},
+		{"map-percpu-hash", func() policy.Map {
+			return policy.NewPerCPUHashMap("bench-map", 8, 8, 2*mapPlaneKeys, workers)
+		}},
+		{"map-locked-hash", func() policy.Map {
+			return policy.NewLockedHashMap("bench-map", 8, 8, 2*mapPlaneKeys)
+		}},
+	}
 }
 
 // contendedAllocsPerOp measures heap allocations per acquire/release

@@ -115,7 +115,11 @@ func max64(a, b int64) int64 {
 
 // MapFootprint summarises a program's use of one referenced map.
 type MapFootprint struct {
-	Map        string `json:"map"`
+	Map string `json:"map"`
+	// Kind is the concrete map kind ("array", "hash", "percpu_hash",
+	// ...); the cost model charges lock-free kinds less than the
+	// mutex-based locked_hash.
+	Kind       string `json:"kind,omitempty"`
 	KeySize    int    `json:"key_size"`
 	ValueSize  int    `json:"value_size"`
 	MaxEntries int    `json:"max_entries"`
@@ -590,7 +594,8 @@ func Analyze(p *policy.Program) (*Report, error) {
 	for i, m := range p.Maps {
 		acc := &accs[i]
 		fp := MapFootprint{
-			Map: m.Name(), KeySize: m.KeySize(), ValueSize: m.ValueSize(),
+			Map: m.Name(), Kind: policy.MapKindOf(m),
+			KeySize: m.KeySize(), ValueSize: m.ValueSize(),
 			MaxEntries: m.MaxEntries(),
 			ReadSites:  acc.reads, WriteSites: acc.writes,
 			MaxKeyBytes: acc.maxKey, MaxValueBytes: acc.maxVal,

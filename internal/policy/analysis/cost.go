@@ -27,6 +27,12 @@ const (
 // publication), hashes above arrays, and environment probes near their
 // syscall-free implementations. concordvet's helperdrift analyzer
 // checks this table stays exhaustive over the HelperID enum.
+//
+// For map helpers these are the *conservative* costs, charged when the
+// analysis cannot tell which map a call targets; they match the
+// mutex-based locked_hash kind, the most expensive implementation.
+// When the abstract state pins R1 to a specific map, costBounds refines
+// the charge from MapKindHelperCosts below.
 var HelperCosts = map[policy.HelperID]int64{
 	policy.HelperMapLookup: 30,
 	policy.HelperMapUpdate: 45,
@@ -39,6 +45,58 @@ var HelperCosts = map[policy.HelperID]int64{
 	policy.HelperTaskPrio:  5,
 	policy.HelperRand:      10,
 	policy.HelperTrace:     15,
+}
+
+// MapKindCost prices the four map helpers for one concrete map kind. A
+// zero field falls back to the conservative HelperCosts row — notably
+// Delete on array kinds, which only returns ErrNoDelete but stays
+// priced as an upper bound.
+type MapKindCost struct {
+	Lookup, Update, Delete, Add int64
+}
+
+// MapKindHelperCosts refines map-helper costs per concrete map kind.
+// Arrays are a bounds check and an index; the lock-free hash kinds pay
+// a probe plus seqlock validation on lookup and a bucket lock on
+// mutation; locked_hash pays the global RWMutex and equals the
+// conservative HelperCosts row.
+var MapKindHelperCosts = map[string]MapKindCost{
+	"array":        {Lookup: 12, Update: 18, Add: 10},
+	"percpu_array": {Lookup: 12, Update: 18, Add: 10},
+	"hash":         {Lookup: 18, Update: 40, Delete: 30, Add: 14},
+	"percpu_hash":  {Lookup: 18, Update: 42, Delete: 30, Add: 12},
+	"locked_hash":  {Lookup: 30, Update: 45, Delete: 35, Add: 20},
+}
+
+func (c MapKindCost) forHelper(h policy.HelperID) int64 {
+	switch h {
+	case policy.HelperMapLookup:
+		return c.Lookup
+	case policy.HelperMapUpdate:
+		return c.Update
+	case policy.HelperMapDelete:
+		return c.Delete
+	case policy.HelperMapAdd:
+		return c.Add
+	}
+	return 0
+}
+
+// helperCallCost charges a helper call, refining map-helper costs by
+// the concrete kind of the map in R1 when the abstract state knows it.
+func helperCallCost(h policy.HelperID, p *policy.Program, st *absState) int64 {
+	base := HelperCosts[h]
+	if h < policy.HelperMapLookup || h > policy.HelperMapAdd {
+		return base
+	}
+	r1 := st.regs[policy.R1]
+	if r1.kind != vMapPtr || r1.mapIdx >= len(p.Maps) {
+		return base
+	}
+	if kc := MapKindHelperCosts[policy.MapKindOf(p.Maps[r1.mapIdx])].forHelper(h); kc > 0 {
+		return kc
+	}
+	return base
 }
 
 // insnCost is the cost of one non-call, non-jump instruction.
@@ -86,7 +144,7 @@ func costBounds(p *policy.Program, states []absState) (cost int64, path, helpers
 
 		case in.Op == policy.OpCall:
 			c, pl, hc := succ(pc + 1)
-			costs[pc] = CostCallBase + HelperCosts[policy.HelperID(in.Imm)] + c
+			costs[pc] = CostCallBase + helperCallCost(policy.HelperID(in.Imm), p, &states[pc]) + c
 			paths[pc] = 1 + pl
 			calls[pc] = 1 + hc
 

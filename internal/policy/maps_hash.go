@@ -1,0 +1,713 @@
+package policy
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file is the lock-free hash-map data plane: a preallocated
+// open-addressing table with seqlock-validated optimistic readers and
+// per-bucket-locked writers, mirroring how in-kernel eBPF hash maps
+// work (BPF_F_NO_PREALLOC off): lookups are RCU-style and never block,
+// while update/delete take a per-bucket spinlock. Everything — slot
+// control words, key words, value words — lives in arenas sized at
+// creation, so no map operation allocates.
+//
+// Aliasing semantics (shared with every map kind here): Lookup returns
+// a slice over the value arena. If the entry is deleted and its slot
+// later reused for another key, a caller still holding that slice reads
+// — and, through map_add, may even write — the *successor* entry's
+// words. Kernel preallocated hash maps accept exactly this recycling
+// race (elements are returned to a freelist and may be reused while an
+// RCU reader still holds the old value pointer); we document it rather
+// than pretend the Go side is stricter. Every word access remains
+// atomic, so the race is value-level, never memory-unsafe.
+
+// MaxHashKeySize bounds hash-map key size in bytes. Keys are stored as
+// little-endian 64-bit words so readers can compare them with atomic
+// loads (seqlock-clean under the race detector); 64 bytes = 8 words is
+// plenty for the lock-id/task-id keys policies use.
+const MaxHashKeySize = 64
+
+const maxKeyWords = MaxHashKeySize / 8
+
+// Slot control word: bits 0-1 are the state, bits 2+ a sequence number
+// bumped on every state transition. A reader validates an optimistic
+// key compare by re-loading the word and checking it is unchanged
+// (state and sequence both), so any concurrent delete/reuse of the slot
+// forces a retry.
+const (
+	slotEmpty     uint64 = 0 // never occupied: terminates probe chains
+	slotWriting   uint64 = 1 // claimed, key/value being written
+	slotFull      uint64 = 2 // published
+	slotTombstone uint64 = 3 // deleted; reusable, does not end a chain
+	slotStateMask uint64 = 3
+	slotSeqIncr   uint64 = 4
+)
+
+// numWriterLocks stripes the per-home-bucket writer locks. Two keys
+// contend only if their home buckets collide mod this; mutations are
+// the slow path, so a modest fixed stripe count beats a lock word per
+// bucket.
+const numWriterLocks = 64
+
+// MapStats is the map-plane telemetry snapshot exported per map.
+type MapStats struct {
+	Occupancy  int64  // live entries
+	Collisions uint64 // insert-path probe displacements past the home slot
+	Retries    uint64 // optimistic read-path retries (seqlock validation failures)
+}
+
+// StatsProvider is implemented by map kinds that track MapStats.
+type StatsProvider interface {
+	MapStats() MapStats
+}
+
+// hashWords mixes n key words (splitmix64-style) into a table index.
+func hashWords(kw *[maxKeyWords]uint64, n int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		h ^= kw[i]
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	h *= 0xc4ceb9fe1a85ec53
+	return h ^ (h >> 29)
+}
+
+// loadKeyWords packs key into kw little-endian, zero-padding the tail
+// word, and returns the word count. No allocation: kw lives on the
+// caller's stack.
+func loadKeyWords(kw *[maxKeyWords]uint64, key []byte) int {
+	n := 0
+	for len(key) >= 8 {
+		kw[n] = binary.LittleEndian.Uint64(key)
+		key = key[8:]
+		n++
+	}
+	if len(key) > 0 {
+		var w uint64
+		for i, b := range key {
+			w |= uint64(b) << (8 * i)
+		}
+		kw[n] = w
+		n++
+	}
+	return n
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// oaTable is the open-addressing key/slot engine shared by HashMap and
+// PerCPUHashMap. It owns slot states and keys; the wrapping kind owns
+// the value arena (zeroed via the fill callback passed to insert).
+type oaTable struct {
+	capacity int // power of two, ≥ 2×maxEntries: probes always terminate
+	mask     uint64
+	keyWords int // words per stored key
+	maxLive  int
+
+	ctl  []uint64 // capacity control words
+	keys []uint64 // capacity × keyWords, written under slotWriting only
+
+	count      atomic.Int64 // live entries (reservation-checked vs maxLive)
+	collisions atomic.Uint64
+	retries    atomic.Uint64
+
+	wlocks [numWriterLocks]uint32
+}
+
+func (t *oaTable) init(keySize, maxEntries int) {
+	t.capacity = nextPow2(2 * maxEntries)
+	if t.capacity < 8 {
+		t.capacity = 8
+	}
+	t.mask = uint64(t.capacity - 1)
+	t.keyWords = (keySize + 7) / 8
+	t.maxLive = maxEntries
+	t.ctl = make([]uint64, t.capacity)
+	t.keys = make([]uint64, t.capacity*t.keyWords)
+}
+
+// lock spins on the writer-lock stripe for home bucket h. Mutations are
+// short (a bounded probe plus a handful of word stores), so a CAS spin
+// with a yield fallback is cheaper than parking.
+func (t *oaTable) lock(h uint64) *uint32 {
+	l := &t.wlocks[h&(numWriterLocks-1)]
+	for spins := 0; !atomic.CompareAndSwapUint32(l, 0, 1); spins++ {
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	return l
+}
+
+func (t *oaTable) unlock(l *uint32) { atomic.StoreUint32(l, 0) }
+
+// keyMatch compares the stored key words of slot against kw with atomic
+// loads. Safe to run concurrently with a writer; the caller revalidates
+// the slot control word afterwards.
+func (t *oaTable) keyMatch(slot int, kw *[maxKeyWords]uint64) bool {
+	base := slot * t.keyWords
+	for i := 0; i < t.keyWords; i++ {
+		if atomic.LoadUint64(&t.keys[base+i]) != kw[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// find is the optimistic read path: probe from the home bucket, compare
+// keys under a seqlock-style control-word validation, and never take a
+// lock. Returns the slot of the published entry holding kw, or -1.
+func (t *oaTable) find(kw *[maxKeyWords]uint64) int {
+	h := hashWords(kw, t.keyWords)
+retry:
+	idx := h & t.mask
+	for probes := 0; probes < t.capacity; probes++ {
+		c := atomic.LoadUint64(&t.ctl[idx])
+		switch c & slotStateMask {
+		case slotEmpty:
+			return -1 // end of probe chain
+		case slotFull:
+			if t.keyMatch(int(idx), kw) {
+				if atomic.LoadUint64(&t.ctl[idx]) == c {
+					return int(idx)
+				}
+				// The slot transitioned mid-compare (delete or reuse):
+				// the match is unreliable, so restart the probe.
+				t.retries.Add(1)
+				goto retry
+			}
+		}
+		// slotWriting and slotTombstone do not terminate the chain:
+		// writing slots were empty-or-tombstone a moment ago and the
+		// key being written is published only after its words land.
+		idx = (idx + 1) & t.mask
+	}
+	return -1
+}
+
+// insertLocked finds kw or claims a slot for it. Must run under the
+// writer lock of kw's home bucket (which serializes all mutators of
+// this key). On existed=true the slot is published and live. On
+// existed=false the slot is claimed in slotWriting state with the key
+// words already stored; the caller must fill its value words and then
+// call publish. Returns slot -1 with ErrMapFull when the map is at
+// maxEntries (the claim is reservation-checked, so concurrent inserts
+// in other buckets cannot overshoot).
+func (t *oaTable) insertLocked(kw *[maxKeyWords]uint64) (slot int, existed bool, err error) {
+	h := hashWords(kw, t.keyWords)
+rescan:
+	idx := h & t.mask
+	reuse := -1
+	for probes := 0; probes < t.capacity; probes++ {
+		c := atomic.LoadUint64(&t.ctl[idx])
+		switch c & slotStateMask {
+		case slotFull:
+			if t.keyMatch(int(idx), kw) {
+				return int(idx), true, nil
+			}
+		case slotTombstone:
+			if reuse < 0 {
+				reuse = int(idx)
+			}
+		case slotEmpty:
+			// End of chain: the key is absent. Claim the first
+			// tombstone seen, else this empty slot.
+			claim := int(idx)
+			if reuse >= 0 {
+				claim = reuse
+			}
+			if n := t.count.Add(1); n > int64(t.maxLive) {
+				t.count.Add(-1)
+				return -1, false, ErrMapFull
+			}
+			if probes > 0 {
+				t.collisions.Add(uint64(probes))
+			}
+			if !t.claim(claim) {
+				// A writer for a key homed in another bucket (hence
+				// not serialized by our lock) took the slot between
+				// our scan and the CAS. Rescan: chain shape changed.
+				t.count.Add(-1)
+				reuse = -1
+				goto rescan
+			}
+			base := claim * t.keyWords
+			for i := 0; i < t.keyWords; i++ {
+				atomic.StoreUint64(&t.keys[base+i], kw[i])
+			}
+			return claim, false, nil
+		}
+		idx = (idx + 1) & t.mask
+	}
+	// Unreachable while count ≤ maxLive ≤ capacity/2: a full scan always
+	// crosses an empty or tombstone slot.
+	return -1, false, ErrMapFull
+}
+
+// claim CASes an empty or tombstone slot into slotWriting, bumping the
+// sequence so optimistic readers mid-compare notice.
+func (t *oaTable) claim(slot int) bool {
+	c := atomic.LoadUint64(&t.ctl[slot])
+	s := c & slotStateMask
+	if s != slotEmpty && s != slotTombstone {
+		return false
+	}
+	next := (c &^ slotStateMask) + slotSeqIncr | slotWriting
+	return atomic.CompareAndSwapUint64(&t.ctl[slot], c, next)
+}
+
+// publish flips a claimed slot to slotFull, making it visible to the
+// optimistic read path.
+func (t *oaTable) publish(slot int) {
+	c := atomic.LoadUint64(&t.ctl[slot])
+	atomic.StoreUint64(&t.ctl[slot], (c&^slotStateMask)+slotSeqIncr|slotFull)
+}
+
+// deleteLocked tombstones the slot holding kw. Must run under the
+// writer lock of kw's home bucket.
+func (t *oaTable) deleteLocked(kw *[maxKeyWords]uint64) error {
+	slot := t.find(kw)
+	if slot < 0 {
+		return ErrNoSuchKey
+	}
+	c := atomic.LoadUint64(&t.ctl[slot])
+	atomic.StoreUint64(&t.ctl[slot], (c&^slotStateMask)+slotSeqIncr|slotTombstone)
+	t.count.Add(-1)
+	return nil
+}
+
+// rangeSlots calls fn for every published slot. Entries inserted or
+// deleted concurrently may or may not be observed; a userspace report
+// reader's usual snapshot semantics.
+func (t *oaTable) rangeSlots(keySize int, fn func(slot int, key []byte) bool) {
+	for slot := 0; slot < t.capacity; slot++ {
+		if atomic.LoadUint64(&t.ctl[slot])&slotStateMask != slotFull {
+			continue
+		}
+		key := make([]byte, t.keyWords*8)
+		base := slot * t.keyWords
+		for i := 0; i < t.keyWords; i++ {
+			binary.LittleEndian.PutUint64(key[i*8:], atomic.LoadUint64(&t.keys[base+i]))
+		}
+		if !fn(slot, key[:keySize]) {
+			return
+		}
+	}
+}
+
+func (t *oaTable) stats() MapStats {
+	return MapStats{
+		Occupancy:  t.count.Load(),
+		Collisions: t.collisions.Load(),
+		Retries:    t.retries.Load(),
+	}
+}
+
+// storeRawWords decodes little-endian raw bytes straight into value
+// words with atomic stores — the zero-allocation spine of UpdateRaw.
+func storeRawWords(dst []uint64, raw []byte) {
+	for i := range dst {
+		atomic.StoreUint64(&dst[i], binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+}
+
+// --- Hash map (lock-free, preallocated) ---
+
+// HashMap is a bounded hash map with arbitrary fixed-size keys (≤
+// MaxHashKeySize bytes), the analogue of a preallocated
+// BPF_MAP_TYPE_HASH. Lookup is lock-free (optimistic, seqlock-
+// validated); Update/Delete serialize per home bucket, exactly the
+// kernel htab discipline. No operation allocates.
+type HashMap struct {
+	name       string
+	keySize    int
+	valueWords int
+	maxEntries int
+	tab        oaTable
+	vals       []uint64 // capacity × valueWords, slot-major
+}
+
+// NewHashMap creates a hash map. All storage — slot control words, key
+// words, values — is allocated here, never per operation.
+func NewHashMap(name string, keySize, valueSize, maxEntries int) *HashMap {
+	checkSpec(name, keySize, valueSize, maxEntries)
+	checkHashKey(name, keySize)
+	m := &HashMap{
+		name:       name,
+		keySize:    keySize,
+		valueWords: valueSize / 8,
+		maxEntries: maxEntries,
+	}
+	m.tab.init(keySize, maxEntries)
+	m.vals = make([]uint64, m.tab.capacity*m.valueWords)
+	return m
+}
+
+func checkHashKey(name string, keySize int) {
+	if keySize > MaxHashKeySize {
+		panic(ErrBadMapSpec.Error() + ": " + name + ": hash key exceeds MaxHashKeySize")
+	}
+}
+
+// Name implements Map.
+func (m *HashMap) Name() string { return m.name }
+
+// KeySize implements Map.
+func (m *HashMap) KeySize() int { return m.keySize }
+
+// ValueSize implements Map.
+func (m *HashMap) ValueSize() int { return m.valueWords * 8 }
+
+// MaxEntries implements Map.
+func (m *HashMap) MaxEntries() int { return m.maxEntries }
+
+func (m *HashMap) valSlice(slot int) []uint64 {
+	return m.vals[slot*m.valueWords : (slot+1)*m.valueWords]
+}
+
+// Lookup implements Map. It never takes a lock: concurrent mutators are
+// detected via the slot control word and retried past.
+func (m *HashMap) Lookup(key []byte, _ int) []uint64 {
+	if len(key) != m.keySize {
+		return nil
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	slot := m.tab.find(&kw)
+	if slot < 0 {
+		return nil
+	}
+	return m.valSlice(slot)
+}
+
+// Update implements Map, inserting the key if absent.
+func (m *HashMap) Update(key []byte, value []uint64, _ int) error {
+	if len(value) != m.valueWords {
+		return ErrValueSize
+	}
+	return m.update(key, func(dst []uint64) { atomicCopy(dst, value) })
+}
+
+// UpdateRaw is Update from little-endian bytes, the zero-allocation
+// path the map_update helper uses.
+func (m *HashMap) UpdateRaw(key, raw []byte, _ int) error {
+	if len(raw) != m.valueWords*8 {
+		return ErrValueSize
+	}
+	return m.update(key, func(dst []uint64) { storeRawWords(dst, raw) })
+}
+
+func (m *HashMap) update(key []byte, fill func(dst []uint64)) error {
+	if len(key) != m.keySize {
+		return ErrKeySize
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	l := m.tab.lock(hashWords(&kw, m.tab.keyWords))
+	defer m.tab.unlock(l)
+	slot, existed, err := m.tab.insertLocked(&kw)
+	if err != nil {
+		return err
+	}
+	fill(m.valSlice(slot))
+	if !existed {
+		m.tab.publish(slot)
+	}
+	return nil
+}
+
+// Delete implements Map.
+func (m *HashMap) Delete(key []byte) error {
+	if len(key) != m.keySize {
+		return ErrKeySize
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	l := m.tab.lock(hashWords(&kw, m.tab.keyWords))
+	defer m.tab.unlock(l)
+	return m.tab.deleteLocked(&kw)
+}
+
+// LookupOrInit returns the value for key, atomically inserting a zero
+// value if absent. The fast path is the lock-free find; only a miss
+// takes the bucket writer lock. Used by the map_add helper so counting
+// policies need no userspace priming and first touches cannot race.
+func (m *HashMap) LookupOrInit(key []byte, _ int) []uint64 {
+	if len(key) != m.keySize {
+		return nil
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	if slot := m.tab.find(&kw); slot >= 0 {
+		return m.valSlice(slot)
+	}
+	l := m.tab.lock(hashWords(&kw, m.tab.keyWords))
+	defer m.tab.unlock(l)
+	slot, existed, err := m.tab.insertLocked(&kw)
+	if err != nil {
+		return nil
+	}
+	if !existed {
+		v := m.valSlice(slot)
+		for i := range v {
+			atomic.StoreUint64(&v[i], 0)
+		}
+		m.tab.publish(slot)
+	}
+	return m.valSlice(slot)
+}
+
+// Len reports the number of live entries.
+func (m *HashMap) Len() int { return int(m.tab.count.Load()) }
+
+// MapStats implements StatsProvider.
+func (m *HashMap) MapStats() MapStats { return m.tab.stats() }
+
+// Range calls fn for every key/value pair until fn returns false. The
+// value slice aliases map storage. Intended for userspace report readers.
+func (m *HashMap) Range(fn func(key []byte, value []uint64) bool) {
+	m.tab.rangeSlots(m.keySize, func(slot int, key []byte) bool {
+		return fn(key, m.valSlice(slot))
+	})
+}
+
+// --- Per-CPU hash map (lock-free, preallocated) ---
+
+// cacheLineWords pads per-CPU value stripes to 64-byte boundaries so
+// two CPUs' stripes never share a line.
+const cacheLineWords = 8
+
+// PerCPUHashMap shares one key table across CPUs but gives each virtual
+// CPU its own value stripe, the analogue of BPF_MAP_TYPE_PERCPU_HASH:
+// counting policies touch only their own cacheline, so hot keys do not
+// bounce between CPUs. Key management (insert/delete/probe) is the same
+// lock-free engine as HashMap.
+type PerCPUHashMap struct {
+	name       string
+	keySize    int
+	valueWords int
+	maxEntries int
+	numCPUs    int
+	tab        oaTable
+	stride     int      // words per CPU stripe, cacheline-padded
+	base       int      // offset aligning vals[base] to a cacheline
+	vals       []uint64 // numCPUs × stride (+ alignment slack), cpu-major
+}
+
+// NewPerCPUHashMap creates a per-CPU hash map over numCPUs virtual CPUs.
+func NewPerCPUHashMap(name string, keySize, valueSize, maxEntries, numCPUs int) *PerCPUHashMap {
+	checkSpec(name, keySize, valueSize, maxEntries)
+	checkHashKey(name, keySize)
+	if numCPUs <= 0 {
+		panic("policy: per-cpu map needs at least one cpu")
+	}
+	m := &PerCPUHashMap{
+		name:       name,
+		keySize:    keySize,
+		valueWords: valueSize / 8,
+		maxEntries: maxEntries,
+		numCPUs:    numCPUs,
+	}
+	m.tab.init(keySize, maxEntries)
+	stripe := m.tab.capacity * m.valueWords
+	m.stride = (stripe + cacheLineWords - 1) &^ (cacheLineWords - 1)
+	m.vals = make([]uint64, m.numCPUs*m.stride+cacheLineWords-1)
+	m.base = alignOffset(m.vals)
+	return m
+}
+
+// alignOffset returns the element offset at which the slice is 64-byte
+// aligned (the allocator only guarantees word alignment).
+func alignOffset(v []uint64) int {
+	if len(v) == 0 {
+		return 0
+	}
+	for i := 0; i < cacheLineWords && i < len(v); i++ {
+		if uintptr(unsafe.Pointer(&v[i]))%64 == 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Name implements Map.
+func (m *PerCPUHashMap) Name() string { return m.name }
+
+// KeySize implements Map.
+func (m *PerCPUHashMap) KeySize() int { return m.keySize }
+
+// ValueSize implements Map.
+func (m *PerCPUHashMap) ValueSize() int { return m.valueWords * 8 }
+
+// MaxEntries implements Map.
+func (m *PerCPUHashMap) MaxEntries() int { return m.maxEntries }
+
+// NumCPUs returns the number of per-CPU value stripes.
+func (m *PerCPUHashMap) NumCPUs() int { return m.numCPUs }
+
+func (m *PerCPUHashMap) valSlice(slot, cpu int) []uint64 {
+	off := m.base + cpu*m.stride + slot*m.valueWords
+	return m.vals[off : off+m.valueWords]
+}
+
+// Lookup implements Map; the entry returned belongs to the given CPU.
+func (m *PerCPUHashMap) Lookup(key []byte, cpu int) []uint64 {
+	if len(key) != m.keySize || cpu < 0 || cpu >= m.numCPUs {
+		return nil
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	slot := m.tab.find(&kw)
+	if slot < 0 {
+		return nil
+	}
+	return m.valSlice(slot, cpu)
+}
+
+// Update implements Map: it sets the value on the given CPU's stripe
+// only (matching the kernel helper semantics, where a program updates
+// the current CPU's copy). A fresh insert zeroes every CPU's stripe
+// before publishing.
+func (m *PerCPUHashMap) Update(key []byte, value []uint64, cpu int) error {
+	if len(value) != m.valueWords {
+		return ErrValueSize
+	}
+	return m.update(key, cpu, func(dst []uint64) { atomicCopy(dst, value) })
+}
+
+// UpdateRaw is Update from little-endian bytes, the zero-allocation
+// path the map_update helper uses.
+func (m *PerCPUHashMap) UpdateRaw(key, raw []byte, cpu int) error {
+	if len(raw) != m.valueWords*8 {
+		return ErrValueSize
+	}
+	return m.update(key, cpu, func(dst []uint64) { storeRawWords(dst, raw) })
+}
+
+func (m *PerCPUHashMap) update(key []byte, cpu int, fill func(dst []uint64)) error {
+	if len(key) != m.keySize {
+		return ErrKeySize
+	}
+	if cpu < 0 || cpu >= m.numCPUs {
+		return ErrNoSuchKey
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	l := m.tab.lock(hashWords(&kw, m.tab.keyWords))
+	defer m.tab.unlock(l)
+	slot, existed, err := m.tab.insertLocked(&kw)
+	if err != nil {
+		return err
+	}
+	if !existed {
+		m.zeroSlot(slot)
+	}
+	fill(m.valSlice(slot, cpu))
+	if !existed {
+		m.tab.publish(slot)
+	}
+	return nil
+}
+
+func (m *PerCPUHashMap) zeroSlot(slot int) {
+	for cpu := 0; cpu < m.numCPUs; cpu++ {
+		v := m.valSlice(slot, cpu)
+		for i := range v {
+			atomic.StoreUint64(&v[i], 0)
+		}
+	}
+}
+
+// Delete implements Map, removing the key from every CPU at once.
+func (m *PerCPUHashMap) Delete(key []byte) error {
+	if len(key) != m.keySize {
+		return ErrKeySize
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	l := m.tab.lock(hashWords(&kw, m.tab.keyWords))
+	defer m.tab.unlock(l)
+	return m.tab.deleteLocked(&kw)
+}
+
+// LookupOrInit returns the given CPU's value for key, inserting a
+// zeroed entry (on all CPUs) if absent. Used by the map_add helper.
+func (m *PerCPUHashMap) LookupOrInit(key []byte, cpu int) []uint64 {
+	if len(key) != m.keySize || cpu < 0 || cpu >= m.numCPUs {
+		return nil
+	}
+	var kw [maxKeyWords]uint64
+	loadKeyWords(&kw, key)
+	if slot := m.tab.find(&kw); slot >= 0 {
+		return m.valSlice(slot, cpu)
+	}
+	l := m.tab.lock(hashWords(&kw, m.tab.keyWords))
+	defer m.tab.unlock(l)
+	slot, existed, err := m.tab.insertLocked(&kw)
+	if err != nil {
+		return nil
+	}
+	if !existed {
+		m.zeroSlot(slot)
+		m.tab.publish(slot)
+	}
+	return m.valSlice(slot, cpu)
+}
+
+// Len reports the number of live keys.
+func (m *PerCPUHashMap) Len() int { return int(m.tab.count.Load()) }
+
+// MapStats implements StatsProvider.
+func (m *PerCPUHashMap) MapStats() MapStats { return m.tab.stats() }
+
+// Sum folds the first value word for key across all CPUs, the usual way
+// userspace reads a per-CPU counter.
+func (m *PerCPUHashMap) Sum(key []byte) uint64 {
+	var total uint64
+	for cpu := 0; cpu < m.numCPUs; cpu++ {
+		if v := m.Lookup(key, cpu); v != nil {
+			total += atomic.LoadUint64(&v[0])
+		}
+	}
+	return total
+}
+
+// Range calls fn for every key with the given CPU's value slice.
+func (m *PerCPUHashMap) Range(cpu int, fn func(key []byte, value []uint64) bool) {
+	if cpu < 0 || cpu >= m.numCPUs {
+		return
+	}
+	m.tab.rangeSlots(m.keySize, func(slot int, key []byte) bool {
+		return fn(key, m.valSlice(slot, cpu))
+	})
+}
+
+// MapKindOf names the concrete kind of a map, for analysis cost models
+// and telemetry labels.
+func MapKindOf(m Map) string {
+	switch m.(type) {
+	case *ArrayMap:
+		return "array"
+	case *PerCPUArrayMap:
+		return "percpu_array"
+	case *HashMap:
+		return "hash"
+	case *PerCPUHashMap:
+		return "percpu_hash"
+	case *LockedHashMap:
+		return "locked_hash"
+	default:
+		return "custom"
+	}
+}

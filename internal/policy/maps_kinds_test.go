@@ -1,0 +1,151 @@
+package policy
+
+import "testing"
+
+func TestPerCPUHashMapBasics(t *testing.T) {
+	m := NewPerCPUHashMap("p", 8, 8, 4, 3)
+	k := []byte("aaaaaaaa")
+	if m.Lookup(k, 0) != nil {
+		t.Error("lookup on empty map")
+	}
+	if m.Lookup(k, 3) != nil {
+		t.Error("cpu out of range")
+	}
+	if err := m.Update(k, []uint64{5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The updated CPU sees the value; the others see a zeroed stripe
+	// (a fresh insert zeroes every CPU before publishing).
+	if v := m.Lookup(k, 1); v == nil || v[0] != 5 {
+		t.Errorf("cpu1 = %v, want [5]", v)
+	}
+	if v := m.Lookup(k, 0); v == nil || v[0] != 0 {
+		t.Errorf("cpu0 should be zero-initialized: %v", v)
+	}
+	if err := m.Update(k, []uint64{7}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sum(k); got != 12 {
+		t.Errorf("Sum = %d, want 12", got)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+	// Delete removes the key from every CPU at once.
+	if err := m.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 3; cpu++ {
+		if m.Lookup(k, cpu) != nil {
+			t.Errorf("cpu%d still sees deleted key", cpu)
+		}
+	}
+	if err := m.Update([]byte("short"), []uint64{0}, 0); err != ErrKeySize {
+		t.Errorf("bad key: %v, want ErrKeySize", err)
+	}
+}
+
+// TestPerCPUHashMapReinsertZeroes pins the insert protocol: a slot
+// recycled via tombstone reuse must come back fully zeroed on every
+// stripe, not carry the previous tenant's counters.
+func TestPerCPUHashMapReinsertZeroes(t *testing.T) {
+	m := NewPerCPUHashMap("p", 8, 8, 2, 2)
+	k := []byte("aaaaaaaa")
+	for round := 0; round < 3; round++ {
+		if v := m.LookupOrInit(k, 0); v == nil || v[0] != 0 {
+			t.Fatalf("round %d: fresh entry = %v, want [0]", round, v)
+		}
+		if err := m.Update(k, []uint64{99}, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLockedHashMapBasics(t *testing.T) {
+	m := NewLockedHashMap("l", 8, 8, 2)
+	k1 := []byte("aaaaaaaa")
+	k2 := []byte("bbbbbbbb")
+	k3 := []byte("cccccccc")
+	if err := m.Update(k1, []uint64{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k2, []uint64{2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(k3, []uint64{3}, 0); err != ErrMapFull {
+		t.Errorf("over capacity: %v, want ErrMapFull", err)
+	}
+	if v := m.Lookup(k1, 0); v == nil || v[0] != 1 {
+		t.Errorf("k1 = %v, want [1]", v)
+	}
+	if err := m.Delete(k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(k1); err != ErrNoSuchKey {
+		t.Errorf("double delete: %v, want ErrNoSuchKey", err)
+	}
+	// The freed slot is recycled for the next insert.
+	if err := m.Update(k3, []uint64{3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+	var sum uint64
+	m.Range(func(_ []byte, v []uint64) bool { sum += v[0]; return true })
+	if sum != 5 {
+		t.Errorf("Range sum = %d, want 5", sum)
+	}
+	st := m.MapStats()
+	if st.Occupancy != 2 {
+		t.Errorf("Occupancy = %d, want 2", st.Occupancy)
+	}
+}
+
+func TestMapKindOf(t *testing.T) {
+	cases := []struct {
+		m    Map
+		want string
+	}{
+		{NewArrayMap("a", 8, 1), "array"},
+		{NewPerCPUArrayMap("pa", 8, 1, 2), "percpu_array"},
+		{NewHashMap("h", 8, 8, 1), "hash"},
+		{NewPerCPUHashMap("ph", 8, 8, 1, 2), "percpu_hash"},
+		{NewLockedHashMap("lh", 8, 8, 1), "locked_hash"},
+	}
+	for _, tc := range cases {
+		if got := MapKindOf(tc.m); got != tc.want {
+			t.Errorf("MapKindOf(%s) = %q, want %q", tc.m.Name(), got, tc.want)
+		}
+	}
+}
+
+// TestHashMapStatsCounters drives collisions and retries observable
+// through MapStats: a saturated small table must report insert-probe
+// collisions, and occupancy must track live entries exactly.
+func TestHashMapStatsCounters(t *testing.T) {
+	m := NewHashMap("h", 4, 8, 16)
+	for i := uint32(0); i < 16; i++ {
+		if err := m.Update(key32(i), []uint64{1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.MapStats()
+	if st.Occupancy != 16 {
+		t.Errorf("Occupancy = %d, want 16", st.Occupancy)
+	}
+	if st.Collisions == 0 {
+		t.Error("a 50%-loaded table with 16 inserts should report some probe collisions")
+	}
+	for i := uint32(0); i < 16; i++ {
+		if err := m.Delete(key32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.MapStats(); st.Occupancy != 0 {
+		t.Errorf("Occupancy after drain = %d, want 0", st.Occupancy)
+	}
+}

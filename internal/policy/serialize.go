@@ -12,7 +12,9 @@ import (
 
 // MapSpec describes a map without its contents.
 type MapSpec struct {
-	Type       string `json:"type"` // "array", "hash", "percpu_array"
+	// Type is "array", "percpu_array", "hash", "percpu_hash" or
+	// "locked_hash".
+	Type       string `json:"type"`
 	Name       string `json:"name"`
 	KeySize    int    `json:"key_size"`
 	ValueSize  int    `json:"value_size"`
@@ -36,6 +38,11 @@ func SpecOf(m Map) MapSpec {
 		spec.NumCPUs = mm.NumCPUs()
 	case *HashMap:
 		spec.Type = "hash"
+	case *PerCPUHashMap:
+		spec.Type = "percpu_hash"
+		spec.NumCPUs = mm.NumCPUs()
+	case *LockedHashMap:
+		spec.Type = "locked_hash"
 	default:
 		spec.Type = "hash"
 	}
@@ -60,6 +67,14 @@ func (s MapSpec) Build() (m Map, err error) {
 		return NewPerCPUArrayMap(s.Name, s.ValueSize, s.MaxEntries, n), nil
 	case "hash":
 		return NewHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
+	case "percpu_hash":
+		n := s.NumCPUs
+		if n <= 0 {
+			n = 1
+		}
+		return NewPerCPUHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries, n), nil
+	case "locked_hash":
+		return NewLockedHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
 	}
 	return nil, fmt.Errorf("policy: unknown map type %q", s.Type)
 }

@@ -95,6 +95,8 @@ func TestSpecOf(t *testing.T) {
 		{NewArrayMap("a", 8, 2), "array"},
 		{NewHashMap("h", 4, 8, 2), "hash"},
 		{NewPerCPUArrayMap("p", 8, 2, 3), "percpu_array"},
+		{NewPerCPUHashMap("ph", 4, 8, 2, 3), "percpu_hash"},
+		{NewLockedHashMap("lh", 4, 8, 2), "locked_hash"},
 	}
 	for _, tc := range cases {
 		spec := SpecOf(tc.m)
@@ -108,6 +110,12 @@ func TestSpecOf(t *testing.T) {
 		if rebuilt.KeySize() != tc.m.KeySize() || rebuilt.ValueSize() != tc.m.ValueSize() ||
 			rebuilt.MaxEntries() != tc.m.MaxEntries() {
 			t.Errorf("rebuilt spec mismatch for %s", tc.m.Name())
+		}
+		if MapKindOf(rebuilt) != tc.typ {
+			t.Errorf("rebuilt kind = %s, want %s", MapKindOf(rebuilt), tc.typ)
+		}
+		if pc, ok := rebuilt.(*PerCPUHashMap); ok && pc.NumCPUs() != 3 {
+			t.Errorf("rebuilt NumCPUs = %d, want 3", pc.NumCPUs())
 		}
 	}
 }

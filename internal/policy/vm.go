@@ -399,6 +399,16 @@ func execHelper(p *Program, h HelperID, regs *[NumRegs]rtVal, stack []byte, env 
 		if err != nil {
 			return rtVal{}, err
 		}
+		// Every builtin map implements rawUpdater, decoding the stack
+		// bytes straight into its value arena — the hook data plane
+		// stays allocation-free. The word-slice fallback only runs for
+		// custom Map implementations.
+		if ru, ok := m.(rawUpdater); ok {
+			if err := ru.UpdateRaw(key, raw, env.CPU()); err != nil {
+				return scalar(^uint64(0)), nil // -1, errno style
+			}
+			return scalar(0), nil
+		}
 		words := make([]uint64, m.ValueSize()/8)
 		for i := range words {
 			words[i] = binary.LittleEndian.Uint64(raw[i*8:])

@@ -112,7 +112,7 @@ func buildMap(md *MapDecl) (policy.Map, error) {
 			cpus = 80
 		}
 		return policy.NewPerCPUArrayMap(md.Name, int(md.Value), int(md.Entries), int(cpus)), nil
-	case "hash":
+	case "hash", "percpu_hash", "locked_hash":
 		key := md.Key
 		if key == 0 {
 			key = 8
@@ -120,9 +120,19 @@ func buildMap(md *MapDecl) (policy.Map, error) {
 		if key != 4 && key != 8 {
 			return nil, errf(md.line, md.col, "map %q: hash key must be 4 or 8 bytes", md.Name)
 		}
+		switch md.Kind {
+		case "percpu_hash":
+			cpus := md.CPUs
+			if cpus <= 0 {
+				cpus = 80
+			}
+			return policy.NewPerCPUHashMap(md.Name, int(key), int(md.Value), int(md.Entries), int(cpus)), nil
+		case "locked_hash":
+			return policy.NewLockedHashMap(md.Name, int(key), int(md.Value), int(md.Entries)), nil
+		}
 		return policy.NewHashMap(md.Name, int(key), int(md.Value), int(md.Entries)), nil
 	default:
-		return nil, errf(md.line, md.col, "unknown map kind %q (array | hash | percpu_array)", md.Kind)
+		return nil, errf(md.line, md.col, "unknown map kind %q (array | hash | percpu_hash | percpu_array | locked_hash)", md.Kind)
 	}
 }
 

@@ -312,6 +312,44 @@ func TestMultiplePoliciesShareMaps(t *testing.T) {
 	}
 }
 
+func TestHashKindsEndToEnd(t *testing.T) {
+	src := `
+		map stripes percpu_hash(key = 8, value = 8, entries = 16, cpus = 4);
+		map legacy locked_hash(key = 8, value = 8, entries = 16);
+
+		policy lock_acquire p {
+			stripes[42] += 1;
+			legacy[42] += 2;
+			return legacy[42];
+		}
+	`
+	u, err := CompileAndVerify(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := u.Program("p")
+	// Two runs on different CPUs: the per-CPU map counts once per
+	// stripe, the locked map accumulates globally.
+	for cpu := 0; cpu < 2; cpu++ {
+		if _, err := policy.Exec(p, policy.NewCtx(policy.KindLockAcquire), &policy.TestEnv{CPUID: cpu}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := make([]byte, 8)
+	key[0] = 42
+	ph := u.Maps["stripes"].(*policy.PerCPUHashMap)
+	if got := ph.Sum(key); got != 2 {
+		t.Errorf("percpu_hash sum = %d, want 2", got)
+	}
+	if v := ph.Lookup(key, 0); v == nil || v[0] != 1 {
+		t.Errorf("cpu0 stripe = %v, want [1]", v)
+	}
+	lh := u.Maps["legacy"].(*policy.LockedHashMap)
+	if v := lh.Lookup(key, 0); v == nil || v[0] != 4 {
+		t.Errorf("locked_hash value = %v, want [4]", v)
+	}
+}
+
 func TestNUMAPolicyEndToEnd(t *testing.T) {
 	// The flagship policy, straight from the paper's motivation, written
 	// in the DSL instead of assembly.

@@ -24,6 +24,10 @@ type Result struct {
 	Ops      int64
 	PerTask  []int64
 	Duration time.Duration
+	// AllocsPerOp is heap allocations per operation over the measured
+	// phase; only populated by workloads that opt into measuring it
+	// (RunMapPlane with MeasureAlloc), zero elsewhere.
+	AllocsPerOp float64
 }
 
 // OpsPerMSec returns throughput in operations per millisecond.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package workloads
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package workloads
+
+// raceEnabled reports that this test binary was built with -race. The
+// race runtime forces otherwise stack-allocated program state to
+// escape, so exact allocs/op pins only hold in normal builds.
+const raceEnabled = true

@@ -34,6 +34,10 @@ type LockRow = obs.LockRow
 // PolicyRow is one loaded policy's summary (the /policies row).
 type PolicyRow = core.PolicyRow
 
+// MapRow is one policy map's data-plane summary (occupancy, insert
+// collisions, optimistic read retries) inside a PolicyRow.
+type MapRow = core.MapRow
+
 // HealthRow is one lock's robustness status (the /health and
 // `concordctl health` row): breaker state, fault/retry counts, and the
 // last trip reason.
