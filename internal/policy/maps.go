@@ -15,6 +15,7 @@ var (
 	ErrMapFull    = errors.New("policy: map is full")
 	ErrNoDelete   = errors.New("policy: map type does not support delete")
 	ErrNoSuchKey  = errors.New("policy: no such key")
+	ErrBadCPU     = errors.New("policy: cpu index out of range")
 	ErrBadMapSpec = errors.New("policy: bad map specification")
 )
 
@@ -355,17 +356,19 @@ func (m *LockedHashMap) update(key []byte, fill func(dst []uint64)) error {
 		return ErrKeySize
 	}
 	m.mu.RLock()
-	slot, ok := m.slots[string(key)]
-	m.mu.RUnlock()
-	if ok {
-		// Existing readers may hold the value slice; the fill callbacks
-		// copy word-atomically so they observe old or new words, never
-		// torn bytes.
+	if slot, ok := m.slots[string(key)]; ok {
+		// Fill while still holding the read lock: it pins the key→slot
+		// mapping, so a concurrent Delete+insert cannot recycle this
+		// arena slot to another key mid-fill. Concurrent readers may
+		// hold the value slice; the fill callbacks copy word-atomically
+		// so they observe old or new words, never torn bytes.
 		fill(m.valSlice(slot))
+		m.mu.RUnlock()
 		return nil
 	}
+	m.mu.RUnlock()
 	m.mu.Lock()
-	slot, ok = m.slots[string(key)]
+	slot, ok := m.slots[string(key)]
 	if !ok {
 		var err error
 		if slot, err = m.allocSlotLocked(); err != nil {
@@ -374,8 +377,10 @@ func (m *LockedHashMap) update(key []byte, fill func(dst []uint64)) error {
 		}
 		m.slots[string(key)] = slot
 	}
-	m.mu.Unlock()
+	// Same reasoning as above: fill before dropping the lock so the
+	// slot cannot be freed and reassigned underneath us.
 	fill(m.valSlice(slot))
+	m.mu.Unlock()
 	return nil
 }
 

@@ -209,11 +209,21 @@ func (t *oaTable) insertLocked(kw *[maxKeyWords]uint64) (slot int, existed bool,
 rescan:
 	idx := h & t.mask
 	reuse := -1
-	for probes := 0; probes < t.capacity; probes++ {
+	claim := -1
+	probes := 0
+scan:
+	for ; probes < t.capacity; probes++ {
 		c := atomic.LoadUint64(&t.ctl[idx])
 		switch c & slotStateMask {
 		case slotFull:
 			if t.keyMatch(int(idx), kw) {
+				if atomic.LoadUint64(&t.ctl[idx]) != c {
+					// The slot transitioned mid-compare (a cross-bucket
+					// delete reclaimed it, so our lock did not serialize
+					// it): the match may be torn. Restart the scan,
+					// mirroring find().
+					goto rescan
+				}
 				return int(idx), true, nil
 			}
 		case slotTombstone:
@@ -221,38 +231,46 @@ rescan:
 				reuse = int(idx)
 			}
 		case slotEmpty:
-			// End of chain: the key is absent. Claim the first
-			// tombstone seen, else this empty slot.
-			claim := int(idx)
-			if reuse >= 0 {
-				claim = reuse
-			}
-			if n := t.count.Add(1); n > int64(t.maxLive) {
-				t.count.Add(-1)
-				return -1, false, ErrMapFull
-			}
-			if probes > 0 {
-				t.collisions.Add(uint64(probes))
-			}
-			if !t.claim(claim) {
-				// A writer for a key homed in another bucket (hence
-				// not serialized by our lock) took the slot between
-				// our scan and the CAS. Rescan: chain shape changed.
-				t.count.Add(-1)
-				reuse = -1
-				goto rescan
-			}
-			base := claim * t.keyWords
-			for i := 0; i < t.keyWords; i++ {
-				atomic.StoreUint64(&t.keys[base+i], kw[i])
-			}
-			return claim, false, nil
+			// End of chain: the key is absent.
+			claim = int(idx)
+			break scan
 		}
 		idx = (idx + 1) & t.mask
 	}
-	// Unreachable while count ≤ maxLive ≤ capacity/2: a full scan always
-	// crosses an empty or tombstone slot.
-	return -1, false, ErrMapFull
+	// The key is absent. Claim the first tombstone seen, else the empty
+	// chain terminator. Empties are consumed monotonically (deletes only
+	// ever mint tombstones), so after enough distinct-key churn a full
+	// scan may find no empty slot at all — the remembered tombstone is
+	// then the only claimable slot and MUST be used, or the map would
+	// refuse new keys forever despite being far below maxEntries.
+	if reuse >= 0 {
+		claim = reuse
+	}
+	if claim < 0 {
+		// No empty slot and no tombstone: every slot is full or being
+		// written, which the maxLive ≤ capacity/2 reservation prevents
+		// at steady state — only transiently reachable mid-rescan.
+		return -1, false, ErrMapFull
+	}
+	if n := t.count.Add(1); n > int64(t.maxLive) {
+		t.count.Add(-1)
+		return -1, false, ErrMapFull
+	}
+	if probes > 0 {
+		t.collisions.Add(uint64(probes))
+	}
+	if !t.claim(claim) {
+		// A writer for a key homed in another bucket (hence not
+		// serialized by our lock) took the slot between our scan and
+		// the CAS. Rescan: chain shape changed.
+		t.count.Add(-1)
+		goto rescan
+	}
+	base := claim * t.keyWords
+	for i := 0; i < t.keyWords; i++ {
+		atomic.StoreUint64(&t.keys[base+i], kw[i])
+	}
+	return claim, false, nil
 }
 
 // claim CASes an empty or tombstone slot into slotWriting, bumping the
@@ -600,7 +618,7 @@ func (m *PerCPUHashMap) update(key []byte, cpu int, fill func(dst []uint64)) err
 		return ErrKeySize
 	}
 	if cpu < 0 || cpu >= m.numCPUs {
-		return ErrNoSuchKey
+		return ErrBadCPU
 	}
 	var kw [maxKeyWords]uint64
 	loadKeyWords(&kw, key)

@@ -43,6 +43,12 @@ func TestPerCPUHashMapBasics(t *testing.T) {
 	if err := m.Update([]byte("short"), []uint64{0}, 0); err != ErrKeySize {
 		t.Errorf("bad key: %v, want ErrKeySize", err)
 	}
+	if err := m.Update(k, []uint64{0}, 3); err != ErrBadCPU {
+		t.Errorf("cpu out of range: %v, want ErrBadCPU", err)
+	}
+	if err := m.Update(k, []uint64{0}, -1); err != ErrBadCPU {
+		t.Errorf("negative cpu: %v, want ErrBadCPU", err)
+	}
 }
 
 // TestPerCPUHashMapReinsertZeroes pins the insert protocol: a slot
@@ -120,6 +126,56 @@ func TestMapKindOf(t *testing.T) {
 		if got := MapKindOf(tc.m); got != tc.want {
 			t.Errorf("MapKindOf(%s) = %q, want %q", tc.m.Name(), got, tc.want)
 		}
+	}
+}
+
+// TestHashMapTombstoneChurn regression-tests empty-slot exhaustion:
+// deletes only ever mint tombstones, so after enough distinct-key
+// insert+delete churn a probe scan can cross the whole table without
+// seeing a single empty slot. Inserts must then claim a tombstone, not
+// fail with ErrMapFull while the map is nearly empty — the exact shape
+// of a task-id-keyed profiler policy under task churn.
+func TestHashMapTombstoneChurn(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    interface {
+			Map
+			Len() int
+		}
+	}{
+		{"hash", NewHashMap("churn", 4, 8, 4)},
+		{"percpu_hash", NewPerCPUHashMap("churn", 4, 8, 4, 2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := tc.m
+			// Two long-lived entries that must survive the churn.
+			for i := uint32(0); i < 2; i++ {
+				if err := m.Update(key32(i), []uint64{uint64(i)}, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Churn distinct keys far past capacity (maxEntries 4 →
+			// table capacity 8): every empty slot is eventually spent.
+			for i := uint32(100); i < 400; i++ {
+				if err := m.Update(key32(i), []uint64{7}, 0); err != nil {
+					t.Fatalf("churn insert %d: %v (live=%d)", i, err, m.Len())
+				}
+				if v := m.Lookup(key32(i), 0); v == nil {
+					t.Fatalf("churn key %d vanished after insert", i)
+				}
+				if err := m.Delete(key32(i)); err != nil {
+					t.Fatalf("churn delete %d: %v", i, err)
+				}
+			}
+			for i := uint32(0); i < 2; i++ {
+				if v := m.Lookup(key32(i), 0); v == nil || v[0] != uint64(i) {
+					t.Errorf("long-lived key %d = %v, want [%d]", i, v, i)
+				}
+			}
+			if m.Len() != 2 {
+				t.Errorf("Len = %d, want 2", m.Len())
+			}
+		})
 	}
 }
 

@@ -66,6 +66,12 @@ func (s MapSpec) Build() (m Map, err error) {
 		}
 		return NewPerCPUArrayMap(s.Name, s.ValueSize, s.MaxEntries, n), nil
 	case "hash":
+		if s.KeySize > MaxHashKeySize {
+			// Specs persisted before the lock-free kind existed could
+			// carry keys beyond its word-compare bound; keep loading
+			// them via the locked kind, which supports unbounded keys.
+			return NewLockedHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
+		}
 		return NewHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
 	case "percpu_hash":
 		n := s.NumCPUs

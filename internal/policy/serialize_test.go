@@ -120,6 +120,33 @@ func TestSpecOf(t *testing.T) {
 	}
 }
 
+// TestBuildHashLargeKeyFallsBack pins backward compatibility: "hash"
+// specs persisted before the lock-free kind existed may carry keys
+// beyond MaxHashKeySize; Build must load them via the locked kind
+// instead of failing (or panicking) on a previously valid spec.
+func TestBuildHashLargeKeyFallsBack(t *testing.T) {
+	spec := MapSpec{Type: "hash", Name: "big", KeySize: MaxHashKeySize + 8,
+		ValueSize: 8, MaxEntries: 4}
+	m, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build(large-key hash) = %v, want fallback to locked_hash", err)
+	}
+	if _, ok := m.(*LockedHashMap); !ok {
+		t.Fatalf("Build(large-key hash) kind = %s, want locked_hash", MapKindOf(m))
+	}
+	if m.KeySize() != MaxHashKeySize+8 {
+		t.Errorf("KeySize = %d, want %d", m.KeySize(), MaxHashKeySize+8)
+	}
+	key := make([]byte, MaxHashKeySize+8)
+	key[0] = 1
+	if err := m.Update(key, []uint64{42}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Lookup(key, 0); v == nil || v[0] != 42 {
+		t.Errorf("large-key lookup = %v, want [42]", v)
+	}
+}
+
 func TestKindNames(t *testing.T) {
 	for k := Kind(0); k.Valid(); k++ {
 		back, ok := KindByName(k.String())
