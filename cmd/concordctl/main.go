@@ -12,8 +12,10 @@
 //	concordctl disasm prog.json
 //	concordctl demo   [-policy numa|inheritance|scl] [-workers N] [-ops N]
 //	concordctl serve  [-addr host:port] [-policy P] [-duration 30s]
-//	concordctl top    [-addr host:port | -policy P] [-n N] [-interval 1s]
+//	concordctl top    [-addr host:port | -policy P] [-n N] [-interval 1s] [-window 1s]
 //	concordctl health [-addr host:port | -policy P] [-inject]
+//	concordctl profile [-addr host:port | -policy P] [-pprof] [-o out.pb.gz] [-rate N]
+//	concordctl flightrec [-dir D] list|show file.json
 //	concordctl kinds
 //
 // Map specs have the form name:type:keysize:valuesize:maxentries, e.g.
@@ -58,6 +60,10 @@ func main() {
 		err = cmdTop(os.Args[2:], os.Stdout)
 	case "health":
 		err = cmdHealth(os.Args[2:], os.Stdout)
+	case "profile":
+		err = cmdProfile(os.Args[2:], os.Stdout)
+	case "flightrec":
+		err = cmdFlightrec(os.Args[2:], os.Stdout)
 	case "kinds":
 		err = cmdKinds()
 	case "-h", "--help", "help":
@@ -98,6 +104,13 @@ commands:
   health [-addr A | -policy P] [-inject]
          print per-lock breaker state, faults, retries and last trip;
          -inject demonstrates a transient fault healing in-process
+  profile [-addr A | -policy P] [-pprof] [-o F] [-rate N] [-window D]
+         export the sampled contention profile: windowed per-lock
+         report by default, -pprof writes a "go tool pprof" protobuf;
+         -addr fetches /debug/concord/contention from a running serve
+  flightrec [-dir D] list|show <file>
+         list flight-recorder bundles captured on supervisor trips, or
+         dump one bundle's JSON
   kinds  list program kinds (the Table 1 hook points)
 `)
 }

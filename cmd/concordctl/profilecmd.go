@@ -1,0 +1,163 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"concord"
+)
+
+// cmdProfile exports the continuous contention profile. In-process mode
+// (no -addr) drives the demo workload with sampling armed; with -addr
+// it fetches /debug/concord/contention from a running `serve`. The
+// default output is the human-readable windowed report; -pprof writes
+// the gzipped protobuf that `go tool pprof` reads.
+func cmdProfile(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", "", "fetch the profile from a running `concordctl serve` at this address; empty runs an in-process workload")
+	pprofOut := fs.Bool("pprof", false, "write the pprof protobuf instead of the text report")
+	out := fs.String("o", "", "output file for -pprof (default contention.pb.gz; \"-\" for stdout)")
+	policyName := fs.String("policy", "numa", "policy for in-process mode")
+	workers := fs.Int("workers", 8, "in-process workload worker goroutines")
+	ops := fs.Int("ops", 2000, "in-process operations per worker per round")
+	rounds := fs.Int("rounds", 3, "in-process workload rounds to profile")
+	rate := fs.Int("rate", int(concord.DefaultSampleRate), "1-in-N sampling rate (rounded up to a power of two)")
+	window := fs.Duration("window", time.Second, "profiling window length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("profile: unexpected arguments %q", fs.Args())
+	}
+
+	if *addr != "" {
+		if !*pprofOut {
+			return fmt.Errorf("profile: remote mode serves pprof only; add -pprof (or use `top -addr` for the text view)")
+		}
+		resp, err := http.Get("http://" + *addr + "/debug/concord/contention")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("profile: %s/debug/concord/contention: %s", *addr, resp.Status)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return writeProfile(stdout, *out, data)
+	}
+
+	profileWindow = *window
+	sess, err := startServeSession(*policyName, *workers, *ops)
+	if err != nil {
+		return err
+	}
+	cp := sess.fw.ContinuousProfiler()
+	if *rate > 0 {
+		// Rebuild at the requested rate: the sampling mask is fixed at
+		// construction so the disarmed path stays one atomic check.
+		cp = concord.NewContinuousProfiler(concord.ContinuousProfilerConfig{
+			SampleRate: *rate, Window: *window,
+		})
+		cp.SetEnabled(true)
+		sess.fw.EnableContinuousProfiling(cp)
+	}
+	for i := 0; i < *rounds; i++ {
+		sess.runWorkload()
+	}
+	if *pprofOut {
+		data, err := sess.fw.ContentionProfile()
+		if err != nil {
+			return err
+		}
+		return writeProfile(stdout, *out, data)
+	}
+	return cp.Report(stdout)
+}
+
+// writeProfile lands pprof bytes at path ("-" = stdout, "" = the
+// default file name).
+func writeProfile(stdout io.Writer, path string, data []byte) error {
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	if path == "" {
+		path = "contention.pb.gz"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %d bytes to %s\n", len(data), path)
+	fmt.Fprintf(stdout, "inspect with: go tool pprof -top %s\n", path)
+	return nil
+}
+
+// cmdFlightrec inspects flight-recorder bundles: `list` summarizes a
+// directory, `show <file>` dumps one bundle's JSON.
+func cmdFlightrec(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flightrec", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("dir", "flightrec", "bundle directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sub := "list"
+	if fs.NArg() > 0 {
+		sub = fs.Arg(0)
+	}
+	switch sub {
+	case "list":
+		files, err := concord.ListFlightBundles(*dir)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			fmt.Fprintf(stdout, "no flight bundles in %s\n", *dir)
+			return nil
+		}
+		for _, f := range files {
+			b, err := concord.ReadFlightBundle(f)
+			if err != nil {
+				fmt.Fprintf(stdout, "%s: %v\n", f, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%s  seq=%d  %s  lock=%s  policy=%s  trigger=%s  err=%q\n",
+				time.Unix(0, b.CapturedNS).Format(time.RFC3339), b.Seq, f,
+				b.Lock, b.Policy, b.Trigger, b.Error)
+		}
+		return nil
+	case "show":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("flightrec show: want exactly one bundle file")
+		}
+		path := fs.Arg(1)
+		// Bare bundle names (as printed by `list`) resolve against -dir.
+		if _, err := os.Stat(path); err != nil && !filepath.IsAbs(path) {
+			if p := filepath.Join(*dir, path); p != path {
+				if _, err := os.Stat(p); err == nil {
+					path = p
+				}
+			}
+		}
+		if _, err := concord.ReadFlightBundle(path); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(data)
+		return err
+	default:
+		return fmt.Errorf("flightrec: unknown subcommand %q (want list or show)", sub)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"text/tabwriter"
 	"time"
 
@@ -72,12 +73,19 @@ func startServeSession(policyName string, workers, ops int) (*serveSession, erro
 	return startSupervisedSession(policyName, workers, ops, concord.SupervisorConfig{})
 }
 
+// profileWindow is the continuous-profiling window for in-process
+// sessions; `top -window` and `profile -window` override it.
+var profileWindow = time.Second
+
 // startSupervisedSession is startServeSession with an explicit
 // supervisor (circuit breaker) configuration, set before the policy is
-// attached. The zero config is the one-shot fault valve.
+// attached. The zero config is the one-shot fault valve. Sessions run
+// with sampled continuous profiling enabled, so `top` has windowed
+// columns and /debug/concord/contention serves a pprof profile.
 func startSupervisedSession(policyName string, workers, ops int, supCfg concord.SupervisorConfig) (*serveSession, error) {
 	topo := concord.PaperTopology()
-	fw := concord.New(topo, concord.WithTelemetry())
+	fw := concord.New(topo, concord.WithTelemetry(),
+		concord.WithContinuousProfiling(concord.ContinuousProfilerConfig{Window: profileWindow}))
 	fw.SetSupervisorConfig(supCfg)
 	lock := concord.NewShflLock("demo_lock", concord.WithMaxRounds(64))
 	if err := fw.RegisterLock(lock); err != nil {
@@ -156,12 +164,14 @@ func cmdTop(args []string, stdout io.Writer) error {
 	policyName := fs.String("policy", "numa", "policy for in-process mode")
 	workers := fs.Int("workers", 8, "in-process workload worker goroutines")
 	ops := fs.Int("ops", 2000, "in-process operations per worker per iteration")
+	window := fs.Duration("window", time.Second, "continuous-profiling window for in-process mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("top: unexpected arguments %q", fs.Args())
 	}
+	profileWindow = *window
 
 	var rows func() ([]concord.LockRow, error)
 	var prows func() ([]concord.PolicyRow, error)
@@ -258,9 +268,12 @@ func printPolicyMapTable(w io.Writer, rows []concord.PolicyRow) {
 }
 
 // printLockTable renders lock rows (already sorted most-waited-first).
+// CONT‰ and RWAIT-P99 are windowed: the last continuous-profiling
+// window's contention rate and p99 wait, "-" when profiling is off or
+// no window has data.
 func printLockTable(w io.Writer, rows []concord.LockRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "LOCK\tPOLICY\tCOST\tBRK\tACQ\tCONT\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
+	fmt.Fprintln(tw, "LOCK\tPOLICY\tCOST\tBRK\tACQ\tCONT\tCONT‰\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tRWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
 	for _, r := range rows {
 		cost := "-"
 		if r.CostBoundNS > 0 {
@@ -268,10 +281,15 @@ func printLockTable(w io.Writer, rows []concord.LockRow) {
 			// policies and would round to 0s.
 			cost = time.Duration(r.CostBoundNS).String()
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+		recentRate, recentP99 := "-", "-"
+		if r.RecentWindowNS > 0 {
+			recentRate = strconv.FormatInt(r.RecentContentionPerMille, 10)
+			recentP99 = fmtDur(r.RecentWaitP99NS)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			r.Lock, orDash(r.Policy), cost, orDash(r.Breaker),
-			r.Acquisitions, r.Contentions, r.ReadAcqs,
-			fmtDur(r.WaitTotalNS), fmtDur(r.WaitMeanNS), fmtDur(r.WaitP99NS),
+			r.Acquisitions, r.Contentions, recentRate, r.ReadAcqs,
+			fmtDur(r.WaitTotalNS), fmtDur(r.WaitMeanNS), fmtDur(r.WaitP99NS), recentP99,
 			fmtDur(r.HoldMeanNS), fmtDur(r.HoldMaxNS))
 	}
 	tw.Flush()

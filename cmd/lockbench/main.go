@@ -22,6 +22,11 @@
 //
 //	lockbench -regress [-baseline BENCH_4.json] [-regress-out BENCH_5.json]
 //	          [-runs 5] [-ops N] [-pooling on|off] [-slack 5]
+//	          [-profile] [-profile-rate N] [-profile-out contention.pb.gz]
+//
+// -profile arms sampled continuous contention profiling on every
+// real-lock cell, so the measured throughput includes profiling
+// overhead; -profile-out exports the cumulative pprof profile.
 //
 // measures the lock × workload matrix (real locks on hashtable / lock2 /
 // page_fault2 plus the deterministic ksim Figure-2 sweep at simulated
@@ -45,6 +50,7 @@ import (
 	"concord/internal/experiments"
 	"concord/internal/locks"
 	"concord/internal/perfstat"
+	"concord/internal/profile"
 )
 
 func main() {
@@ -62,6 +68,9 @@ func main() {
 	workers := flag.Int("workers", 8, "workers per real-lock -regress cell")
 	pooling := flag.String("pooling", "on", "queue-node pooling during -regress: on | off")
 	slack := flag.Float64("slack", 5, "percent throughput drop tolerated before a significant delta fails the gate")
+	profileOn := flag.Bool("profile", false, "run -regress with continuous contention profiling armed on every real-lock cell")
+	profileRate := flag.Int("profile-rate", 0, "1-in-N sampling rate for -profile (0 = default)")
+	profileOut := flag.String("profile-out", "", "write the -profile pprof contention profile here after the run")
 	flag.Parse()
 
 	if *deadline > 0 {
@@ -77,8 +86,28 @@ func main() {
 	}
 
 	if *regress {
-		os.Exit(runRegress(regressConfigFromFlags(*runs, *workers, *ops, *pooling),
-			*baseline, *regressOut, *slack))
+		cfg := regressConfigFromFlags(*runs, *workers, *ops, *pooling)
+		if *profileOn {
+			cp := profile.NewContinuous(profile.ContinuousConfig{SampleRate: *profileRate})
+			cp.SetEnabled(true)
+			cfg.Profiler = cp
+		}
+		code := runRegress(cfg, *baseline, *regressOut, *slack)
+		if cfg.Profiler != nil && *profileOut != "" {
+			data, err := cfg.Profiler.PprofProfile()
+			if err == nil {
+				err = os.WriteFile(*profileOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lockbench:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Fprintln(os.Stderr, "wrote", *profileOut)
+			}
+		}
+		os.Exit(code)
 	}
 
 	threads := experiments.DefaultThreads

@@ -90,6 +90,7 @@ const (
 type taskEnv struct {
 	t    *task.T
 	seed uint64
+	ad   *adapter
 }
 
 func (e *taskEnv) NowNS() int64        { return time.Now().UnixNano() }
@@ -106,6 +107,20 @@ func (e *taskEnv) Rand() uint64 {
 }
 func (e *taskEnv) Trace(uint64) {}
 
+// LockStat implements policy.LockStatReader: it reads the hooked lock's
+// last completed profiling window through the continuous profiler. The
+// closure is swapped atomically so continuous profiling can be enabled
+// or disabled while the policy runs.
+func (e *taskEnv) LockStat(field uint64) uint64 {
+	if e.ad == nil {
+		return 0
+	}
+	if fp := e.ad.lockStats.Load(); fp != nil {
+		return (*fp)(field)
+	}
+	return 0
+}
+
 // adapter turns a set of verified programs into a locks.Hooks table.
 // One adapter backs one attach attempt; it owns fault bookkeeping.
 // faultFn fires at most once per adapter (the supervisor trip), so
@@ -120,17 +135,33 @@ type adapter struct {
 	faultOnce sync.Once
 	lastErr   atomic.Pointer[error]
 
+	// lockStats backs the lock_stats_read helper for this attachment's
+	// lock (nil: helper reads 0). Set at attach time and swapped when
+	// continuous profiling is enabled or disabled afterwards.
+	lockStats atomic.Pointer[func(uint64) uint64]
+
 	envs sync.Map // *task.T -> *taskEnv
+}
+
+// setLockStats installs (or clears, with nil) the lock_stats_read
+// backing closure; existing cached task environments observe the swap
+// on their next helper call.
+func (a *adapter) setLockStats(fn func(uint64) uint64) {
+	if fn == nil {
+		a.lockStats.Store(nil)
+		return
+	}
+	a.lockStats.Store(&fn)
 }
 
 func (a *adapter) envFor(t *task.T) *taskEnv {
 	if t == nil {
-		return &taskEnv{}
+		return &taskEnv{ad: a}
 	}
 	if e, ok := a.envs.Load(t); ok {
 		return e.(*taskEnv)
 	}
-	e := &taskEnv{t: t, seed: uint64(t.ID())}
+	e := &taskEnv{t: t, seed: uint64(t.ID()), ad: a}
 	actual, _ := a.envs.LoadOrStore(t, e)
 	return actual.(*taskEnv)
 }

@@ -163,6 +163,8 @@ type Framework struct {
 	policies map[string]*Policy
 	shadow   *livepatch.ShadowStore
 	tel      *obs.Telemetry
+	cprof    *profile.Continuous
+	flight   *FlightRecorder
 	supCfg   SupervisorConfig
 }
 
@@ -213,6 +215,8 @@ func (f *Framework) RegisterLock(l locks.Lock) error {
 	f.locks[l.Name()] = st
 	if f.tel != nil {
 		f.tel.LocksRegistered.Set(int64(len(f.locks)))
+	}
+	if f.tel != nil || f.cprof != nil {
 		// Instrument immediately so a lock is observable before any
 		// policy or profiler touches it.
 		h.HookSlot().Replace("telemetry:"+l.Name(), f.effectiveHooks(st, nil, nil))
@@ -597,6 +601,12 @@ func (f *Framework) effectiveHooks(st *lockState, p *Policy, ad *adapter) *locks
 	}
 	if st.profiler != nil {
 		hooks = locks.ComposeHooks(hooks, st.profiler.Hooks(st.lock.Name()))
+	}
+	// The continuous profiler composes after the on-demand profiler: its
+	// hooks are sampling-gated and profiling-only, cheap enough to leave
+	// in every chain.
+	if f.cprof != nil {
+		hooks = locks.ComposeHooks(hooks, f.cprof.Hooks(st.lock.Name()))
 	}
 	// Telemetry composes last: its hooks are profiling-only, so user
 	// policies keep every behavioural decision while instrumentation

@@ -274,12 +274,14 @@ func (s *supervisor) tripWith(err error, forceQuarantine bool) {
 	current := s.st.attached == s.att
 	var fallback *locks.Hooks
 	var tel *obs.Telemetry
+	var flight *FlightRecorder
 	if current {
 		if quarantine {
 			s.st.attached = nil
 		}
 		fallback = f.effectiveHooks(s.st, nil, nil)
 		tel = f.tel
+		flight = f.flight
 	}
 	f.mu.Unlock()
 	if !current {
@@ -305,6 +307,22 @@ func (s *supervisor) tripWith(err error, forceQuarantine bool) {
 		} else {
 			tel.BreakerOpens.Inc()
 		}
+	}
+	if flight != nil {
+		// Copy the trip state by value: the capture goroutine must not
+		// read supervisor fields after s.mu is released, and must not
+		// take f.mu while we hold s.mu.
+		flight.capture(tripSnapshot{
+			lock:        s.lockName,
+			policyName:  s.policyName,
+			err:         err,
+			quarantine:  quarantine,
+			state:       s.state,
+			retries:     s.retries,
+			safetyTrips: s.safetyTrips,
+			faults:      s.faults.Load(),
+			costBound:   s.costBound,
+		})
 	}
 	if !quarantine {
 		s.timer = time.AfterFunc(s.cfg.backoffFor(s.retries), s.reattach)
@@ -433,6 +451,9 @@ func newAdapter(f *Framework, sup *supervisor) *adapter {
 		}
 	}
 	ad.faultFn = sup.trip
+	// newAdapter runs with f.mu held (Attach and supervised reattach),
+	// so the lock_stats_read closure can be resolved directly.
+	ad.setLockStats(f.statReaderLocked(sup.st))
 	return ad
 }
 

@@ -7,6 +7,7 @@ import (
 	"concord/internal/locks"
 	"concord/internal/obs"
 	"concord/internal/policy"
+	"concord/internal/profile"
 )
 
 // EnableTelemetry attaches a telemetry bundle to the framework. Every
@@ -207,10 +208,19 @@ func (f *Framework) LockRows() []obs.LockRow {
 	}
 	breakers := f.breakerByLock()
 	rows := tel.LockRows()
+	windows := make(map[string]profile.WindowSnapshot)
+	for _, w := range f.WindowSnapshots() {
+		windows[w.Lock] = w
+	}
 	for i := range rows {
 		rows[i].Policy = attached[rows[i].Lock]
 		rows[i].Breaker = breakers[rows[i].Lock]
 		rows[i].CostBoundNS = costs[rows[i].Lock]
+		if w, ok := windows[rows[i].Lock]; ok {
+			rows[i].RecentContentionPerMille = w.ContentionPerMille
+			rows[i].RecentWaitP99NS = w.WaitP99NS
+			rows[i].RecentWindowNS = w.EndNS - w.StartNS
+		}
 	}
 	return rows
 }

@@ -8,6 +8,7 @@ import (
 	"concord/internal/locks"
 	"concord/internal/perfstat"
 	"concord/internal/policy"
+	"concord/internal/profile"
 	"concord/internal/task"
 	"concord/internal/topology"
 	"concord/internal/workloads"
@@ -27,6 +28,26 @@ type RegressConfig struct {
 	Ops        int    // ops per worker for real-lock cells (default 2000)
 	SimThreads []int  // simulated core counts (default 8, 16, 80)
 	Label      string // recorded in the baseline
+	// Profiler, when set, composes its sampling hooks onto every
+	// real-lock cell (`lockbench -profile`): the measured numbers then
+	// include continuous-profiling overhead, which is exactly what the
+	// profile-overhead acceptance gate compares against a baseline.
+	Profiler *profile.Continuous
+}
+
+// instrument wraps a lock constructor so each fresh lock carries the
+// sweep's continuous-profiling hooks; a nil profiler is the identity.
+func (c *RegressConfig) instrument(name string, mk func() locks.Lock) func() locks.Lock {
+	if c.Profiler == nil {
+		return mk
+	}
+	return func() locks.Lock {
+		l := mk()
+		if h, ok := l.(locks.Hooked); ok {
+			h.HookSlot().Replace("cprofile", c.Profiler.Hooks(name))
+		}
+		return l
+	}
 }
 
 func (c *RegressConfig) setDefaults() {
@@ -78,12 +99,13 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 
 	// Real locks × {hashtable, lock2}.
 	for _, rl := range realLocks() {
-		allocs := contendedAllocsPerOp(rl.mk, topo, cfg.Threads)
+		mk := cfg.instrument(rl.name, rl.mk)
+		allocs := contendedAllocsPerOp(mk, topo, cfg.Threads)
 		b.Cells = append(b.Cells, perfstat.Cell{
 			Lock: rl.name, Workload: "hashtable", Threads: cfg.Threads,
 			AllocsPerOp: allocs,
 			OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
-				return workloads.RunHashTable(rl.mk(), topo, workloads.HashTableConfig{
+				return workloads.RunHashTable(mk(), topo, workloads.HashTableConfig{
 					Workers: cfg.Threads, OpsPerWorker: cfg.Ops,
 				}).OpsPerMSec()
 			}),
@@ -92,7 +114,7 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 			Lock: rl.name, Workload: "lock2", Threads: cfg.Threads,
 			AllocsPerOp: allocs,
 			OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
-				return workloads.RunLock2(rl.mk(), topo, workloads.Lock2Config{
+				return workloads.RunLock2(mk(), topo, workloads.Lock2Config{
 					Workers: cfg.Threads, OpsPerWorker: cfg.Ops, CSWork: 16, OutsideWork: 32,
 				}).OpsPerMSec()
 			}),
@@ -100,12 +122,12 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 	}
 
 	// RWSem × page_fault2 (read-mostly, the Figure 2(a) shape).
-	mkSem := func() locks.Lock { return locks.NewRWSem("bench-rwsem") }
+	mkSem := cfg.instrument("rwsem", func() locks.Lock { return locks.NewRWSem("bench-rwsem") })
 	b.Cells = append(b.Cells, perfstat.Cell{
 		Lock: "rwsem", Workload: "page_fault2", Threads: cfg.Threads,
 		AllocsPerOp: contendedAllocsPerOp(mkSem, topo, cfg.Threads),
 		OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
-			return workloads.RunPageFault2(locks.NewRWSem("bench-rwsem"), topo,
+			return workloads.RunPageFault2(mkSem().(locks.RWLock), topo,
 				workloads.PageFault2Config{
 					Workers: cfg.Threads, FaultsPerWorker: cfg.Ops, WriterEvery: 64,
 				}).OpsPerMSec()

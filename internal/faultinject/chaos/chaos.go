@@ -28,6 +28,7 @@ import (
 	"concord/internal/locks"
 	"concord/internal/obs"
 	"concord/internal/policy"
+	"concord/internal/profile"
 	"concord/internal/topology"
 	"concord/internal/workloads"
 )
@@ -55,6 +56,14 @@ type Config struct {
 	// Blocking switches the lock into spin-then-park mode so the parker
 	// sites (locks.park_delay, locks.lost_wakeup) have a path to bite.
 	Blocking bool
+
+	// FlightDir, when non-empty, arms the flight recorder: every
+	// supervisor trip during the run captures a diagnostic bundle into
+	// this directory. The harness also arms a rate-1 continuous
+	// profiler so the bundles carry profiling windows — chaos runs
+	// measure invariants, not throughput, so full-fidelity sampling is
+	// free here.
+	FlightDir string
 }
 
 func (c *Config) defaults() {
@@ -121,6 +130,14 @@ func New(cfg Config) (*Harness, error) {
 	tel := obs.NewTelemetry()
 	fw.EnableTelemetry(tel)
 	fw.SetSupervisorConfig(cfg.Supervisor)
+	if cfg.FlightDir != "" {
+		cp := profile.NewContinuous(profile.ContinuousConfig{SampleRate: 1})
+		cp.SetEnabled(true)
+		fw.EnableContinuousProfiling(cp)
+		if _, err := fw.EnableFlightRecorder(core.FlightRecorderConfig{Dir: cfg.FlightDir}); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+	}
 
 	opts := []locks.ShflOption{locks.WithMaxRounds(64)}
 	if cfg.Blocking {

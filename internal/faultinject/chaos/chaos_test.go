@@ -221,6 +221,90 @@ func TestChaosSoak(t *testing.T) {
 		s.Ops, s.Faults, s.Fires, s.ParkRescues, s.Reattaches, s.BreakerCloses)
 }
 
+// TestChaosFlightBundle: a forced breaker trip under chaos must leave
+// behind a complete, schema-valid flight bundle. MaxRetries 0 makes
+// the trip deterministic — the first injected fault quarantines — so
+// the run yields exactly one bundle, and that bundle must carry the
+// trace ring, profiling windows and the offending policy's listing.
+func TestChaosFlightBundle(t *testing.T) {
+	dir := t.TempDir()
+	h, err := New(Config{
+		Seed:      42,
+		FlightDir: dir,
+		Plan: map[string]faultinject.Config{
+			"policy.helper": {MaxFires: 1},
+		},
+		Supervisor: core.SupervisorConfig{MaxRetries: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Att.Breaker() != core.BreakerQuarantined && time.Now().Before(deadline) {
+		if res := h.RunRound(); res.Ops != h.ExpectedOpsPerRound() {
+			t.Fatalf("round lost ops: %d != %d", res.Ops, h.ExpectedOpsPerRound())
+		}
+	}
+	if h.Att.Breaker() != core.BreakerQuarantined {
+		t.Fatalf("breaker never quarantined: %v", h.Att.Breaker())
+	}
+
+	fr := h.FW.FlightRecorder()
+	if fr == nil {
+		t.Fatal("FlightDir set but no flight recorder enabled")
+	}
+	fr.Wait()
+	if err := fr.Err(); err != nil {
+		t.Fatalf("flight capture failed: %v", err)
+	}
+	files, err := core.ListFlightBundles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("bundles = %v, want exactly one", files)
+	}
+	b, err := core.ReadFlightBundle(files[0])
+	if err != nil {
+		t.Fatalf("bundle not schema-valid: %v", err)
+	}
+	if b.Schema != core.FlightBundleSchema {
+		t.Errorf("schema = %q, want %q", b.Schema, core.FlightBundleSchema)
+	}
+	if b.Lock != "chaos_lock" || b.Policy != "chaos_pol" {
+		t.Errorf("bundle attribution = %q/%q, want chaos_lock/chaos_pol", b.Lock, b.Policy)
+	}
+	if b.Trigger != "quarantine" {
+		t.Errorf("trigger = %q, want quarantine", b.Trigger)
+	}
+	if !b.Quarantined {
+		t.Error("bundle not marked quarantined")
+	}
+	if b.Error == "" {
+		t.Error("bundle carries no error")
+	}
+	if len(b.Trace) == 0 {
+		t.Error("bundle carries no trace records")
+	}
+	var haveWindow bool
+	for _, w := range b.Windows {
+		if w.Lock == "chaos_lock" && w.Acqs > 0 {
+			haveWindow = true
+		}
+	}
+	if !haveWindow {
+		t.Errorf("no profiling window for chaos_lock in %v", b.Windows)
+	}
+	if len(b.Disasm) == 0 {
+		t.Error("bundle carries no policy disassembly")
+	}
+	if got := b.FaultSites["policy.helper"]; got < 1 {
+		t.Errorf("fault-site counter policy.helper = %d, want >= 1", got)
+	}
+}
+
 // TestChaosDeterminism: two runs with the same seed inject the same
 // number of faults at each site (the reproducibility contract).
 func TestChaosDeterminism(t *testing.T) {

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"concord/internal/profile"
+)
+
+var updateTrace = flag.Bool("update", false, "rewrite golden trace under testdata/")
+
+// TestTraceBuilderGolden pins the exact Perfetto JSON for a fixed lock
+// trace: wait slices and hold slices side by side on per-task tracks,
+// metadata naming, microsecond conversion, and stable event ordering.
+// Any change to the timeline shape shows up as a golden diff — rerun
+// with `go test ./internal/obs -run Golden -update` after reviewing.
+func TestTraceBuilderGolden(t *testing.T) {
+	b := NewTraceBuilder()
+	// Two tasks on one lock: task 1 waits then holds; task 2 enqueues
+	// during the hold, waits longer, then holds in turn. The release
+	// records carry hold durations so the timeline shows both span
+	// kinds interleaved.
+	recs := []profile.TraceRecord{
+		{Op: profile.TraceAcquire, NowNS: 1_000, LockID: 7, TaskID: 1, CPU: 0},
+		{Op: profile.TraceContended, NowNS: 1_100, LockID: 7, TaskID: 1, CPU: 0},
+		{Op: profile.TraceAcquired, NowNS: 3_000, WaitNS: 2_000, LockID: 7, TaskID: 1, CPU: 0},
+		{Op: profile.TraceAcquire, NowNS: 4_000, LockID: 7, TaskID: 2, CPU: 1},
+		{Op: profile.TraceRelease, NowNS: 8_000, HoldNS: 5_000, LockID: 7, TaskID: 1, CPU: 0},
+		{Op: profile.TraceAcquired, NowNS: 8_500, WaitNS: 4_500, LockID: 7, TaskID: 2, CPU: 1},
+		{Op: profile.TraceRelease, NowNS: 10_000, HoldNS: 1_500, LockID: 7, TaskID: 2, CPU: 1},
+	}
+	b.AddLockRecords(recs, func(id uint64) string {
+		if id == 7 {
+			return "mmap_sem"
+		}
+		return ""
+	})
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 2 wait + 2 hold slices", b.Len())
+	}
+	got, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "lock_trace.golden.json")
+	if *updateTrace {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("trace drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

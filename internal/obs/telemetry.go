@@ -253,6 +253,12 @@ type LockRow struct {
 	WaitP99NS    int64  `json:"wait_p99_ns"`
 	HoldMeanNS   int64  `json:"hold_mean_ns"`
 	HoldMaxNS    int64  `json:"hold_max_ns"`
+	// Recent* come from the continuous profiler's freshest window (not
+	// cumulative like the fields above), filled by core when continuous
+	// profiling is enabled; RecentWindowNS is the window length.
+	RecentContentionPerMille int64 `json:"recent_contention_per_mille,omitempty"`
+	RecentWaitP99NS          int64 `json:"recent_wait_p99_ns,omitempty"`
+	RecentWindowNS           int64 `json:"recent_window_ns,omitempty"`
 }
 
 // LockRows returns one row per instrumented lock, sorted by total wait

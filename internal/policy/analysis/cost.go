@@ -45,6 +45,7 @@ var HelperCosts = map[policy.HelperID]int64{
 	policy.HelperTaskPrio:  5,
 	policy.HelperRand:      10,
 	policy.HelperTrace:     15,
+	policy.HelperLockStats: 12, // two atomic loads + a snapshot field read
 }
 
 // MapKindCost prices the four map helpers for one concrete map kind. A

@@ -28,6 +28,7 @@ const (
 	HelperTaskPrio                      // () -> current task priority
 	HelperRand                          // () -> pseudo-random u64
 	HelperTrace                         // (val) -> 0; records val for debugging
+	HelperLockStats                     // (field) -> windowed profile signal of the hooked lock
 
 	numHelpers
 )
@@ -44,6 +45,7 @@ var helperNames = map[HelperID]string{
 	HelperTaskPrio:  "task_prio",
 	HelperRand:      "rand",
 	HelperTrace:     "trace",
+	HelperLockStats: "lock_stats_read",
 }
 
 // String implements fmt.Stringer.
@@ -111,6 +113,7 @@ var helperSpecs = map[HelperID]helperSpec{
 	HelperTaskPrio:  {HelperTaskPrio, "task_prio", nil, retScalar, true},
 	HelperRand:      {HelperRand, "rand", nil, retScalar, true},
 	HelperTrace:     {HelperTrace, "trace", []argKind{argScalar}, retScalar, true},
+	HelperLockStats: {HelperLockStats, "lock_stats_read", []argKind{argScalar}, retScalar, true},
 }
 
 // helperAllowed reports whether helper h may be called from programs of
@@ -147,6 +150,18 @@ type Env interface {
 	Trace(v uint64)
 }
 
+// LockStatReader is the optional Env extension behind lock_stats_read:
+// environments that can see the hooked lock's windowed profile (the
+// continuous profiler's last completed window) implement it; on plain
+// environments the helper reads 0, so profile-gated policies degrade to
+// their low-contention branch instead of failing verification or
+// execution. Field IDs are defined by internal/profile (Field*).
+type LockStatReader interface {
+	// LockStat returns one windowed profile signal of the lock this
+	// program is hooked to, by field ID; unknown fields read 0.
+	LockStat(field uint64) uint64
+}
+
 // FuncEnv is an Env assembled from optional function fields; nil fields
 // fall back to zero values. It is the simplest way to build custom
 // environments in tests and tools.
@@ -158,6 +173,8 @@ type FuncEnv struct {
 	TaskPrioFn func() int64
 	RandFn     func() uint64
 	TraceFn    func(uint64)
+	// LockStatFn backs the lock_stats_read helper (nil reads 0).
+	LockStatFn func(field uint64) uint64
 }
 
 // NowNS implements Env.
@@ -215,6 +232,14 @@ func (e *FuncEnv) Trace(v uint64) {
 	}
 }
 
+// LockStat implements LockStatReader.
+func (e *FuncEnv) LockStat(field uint64) uint64 {
+	if e.LockStatFn != nil {
+		return e.LockStatFn(field)
+	}
+	return 0
+}
+
 // TestEnv is a deterministic Env that records traced values; handy in
 // tests and in concordctl's dry-run mode.
 type TestEnv struct {
@@ -224,6 +249,8 @@ type TestEnv struct {
 	Task     int64
 	Prio     int64
 	randSeed uint64
+	// LockStats seeds lock_stats_read fields (field ID -> value).
+	LockStats map[uint64]uint64
 
 	mu     sync.Mutex
 	traces []uint64
@@ -259,6 +286,9 @@ func (e *TestEnv) Trace(v uint64) {
 	e.traces = append(e.traces, v)
 	e.mu.Unlock()
 }
+
+// LockStat implements LockStatReader from the LockStats map.
+func (e *TestEnv) LockStat(field uint64) uint64 { return e.LockStats[field] }
 
 // Traces returns a copy of the values traced so far.
 func (e *TestEnv) Traces() []uint64 {

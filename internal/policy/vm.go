@@ -472,6 +472,14 @@ func execHelper(p *Program, h HelperID, regs *[NumRegs]rtVal, stack []byte, env 
 	case HelperTrace:
 		env.Trace(regs[R1].v)
 		return scalar(0), nil
+	case HelperLockStats:
+		// Optional-interface probe: environments without windowed
+		// profile visibility read 0, keeping profile-gated policies
+		// runnable (on their low-contention branch) everywhere.
+		if r, ok := env.(LockStatReader); ok {
+			return scalar(r.LockStat(regs[R1].v)), nil
+		}
+		return scalar(0), nil
 	}
 	return rtVal{}, fmt.Errorf("unknown helper %d", int64(h))
 }

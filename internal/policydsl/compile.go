@@ -148,6 +148,9 @@ var builtins = map[string]struct {
 	"task_prio": {0, policy.HelperTaskPrio},
 	"rand":      {0, policy.HelperRand},
 	"trace":     {1, policy.HelperTrace},
+	// lock_stats_read(field) reads one windowed signal of the hooked
+	// lock from the continuous profiler (internal/profile Field* IDs).
+	"lock_stats_read": {1, policy.HelperLockStats},
 }
 
 // Stack frame layout (all offsets from the frame pointer):

@@ -1,0 +1,257 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"runtime"
+)
+
+// pprof contention-profile export. The encoding is a hand-rolled subset
+// of the pprof profile.proto wire format (the repo takes no external
+// dependencies), modeled on Go's runtime mutex profile: two sample
+// values per stack — "contentions/count" and "delay/nanoseconds" — with
+// the sampling period recorded so `go tool pprof` rescales out of the
+// box. Only the proto fields pprof actually reads are emitted.
+//
+// Field numbers (from github.com/google/pprof/proto/profile.proto):
+//
+//	Profile:   sample_type=1 sample=2 mapping=3 location=4 function=5
+//	           string_table=6 time_nanos=9 duration_nanos=10
+//	           period_type=11 period=12
+//	ValueType: type=1 unit=2
+//	Sample:    location_id=1 value=2 label=3
+//	Label:     key=1 str=2
+//	Mapping:   id=1 filename=5
+//	Location:  id=1 mapping_id=2 address=3 line=4
+//	Line:      function_id=1 line=2
+//	Function:  id=1 name=2 filename=4
+
+// protoBuf is a minimal protobuf writer (varint + length-delimited).
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// uintField writes a wire-type-0 field; zero values are omitted (proto3
+// default), except callers that must keep positional meaning use
+// uintFieldAlways.
+func (p *protoBuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.uintFieldAlways(field, v)
+}
+
+func (p *protoBuf) uintFieldAlways(field int, v uint64) {
+	p.varint(uint64(field)<<3 | 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) intField(field int, v int64) { p.uintField(field, uint64(v)) }
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.varint(uint64(field)<<3 | 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) { p.bytesField(field, []byte(s)) }
+
+// msgField writes an embedded message built by fn.
+func (p *protoBuf) msgField(field int, fn func(*protoBuf)) {
+	var inner protoBuf
+	fn(&inner)
+	p.bytesField(field, inner.b)
+}
+
+// stringTable interns strings into the profile string table (index 0 is
+// always "").
+type stringTable struct {
+	idx  map[string]int64
+	list []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{idx: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (t *stringTable) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.list))
+	t.idx[s] = i
+	t.list = append(t.list, s)
+	return i
+}
+
+// PprofProfile encodes the cumulative sampled contention profile as a
+// gzipped pprof protobuf. Sample values are scaled by the sampling rate
+// and the rate is recorded as the period, matching Go's mutex profile
+// conventions; each sample carries a "lock" string label naming the
+// lock instance.
+func (c *Continuous) PprofProfile() ([]byte, error) {
+	now := c.clock()
+
+	type siteSample struct {
+		lock  string
+		pcs   []uintptr
+		count int64
+		delay int64
+	}
+	c.mu.Lock()
+	ws := make([]*Windowed, 0, len(c.stats))
+	for _, w := range c.stats {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	var samples []siteSample
+	for _, w := range ws {
+		w.mu.Lock()
+		for _, s := range w.sites {
+			samples = append(samples, siteSample{
+				lock:  w.Name,
+				pcs:   s.pcs,
+				count: satMul(s.count.Load(), c.rate*c.siteRate),
+				delay: satMul(s.delay.Load(), c.rate*c.siteRate),
+			})
+		}
+		w.mu.Unlock()
+	}
+
+	st := newStringTable()
+	var prof protoBuf
+
+	// sample_type: contentions/count, delay/nanoseconds.
+	contentionsID, countID := st.id("contentions"), st.id("count")
+	delayID, nanosID := st.id("delay"), st.id("nanoseconds")
+	prof.msgField(1, func(p *protoBuf) {
+		p.intField(1, contentionsID)
+		p.intField(2, countID)
+	})
+	prof.msgField(1, func(p *protoBuf) {
+		p.intField(1, delayID)
+		p.intField(2, nanosID)
+	})
+
+	// Locations and functions, deduplicated across samples. Each pc
+	// becomes one Location whose Line entries expand inlined frames.
+	locByPC := make(map[uintptr]uint64)
+	funcByKey := make(map[string]uint64)
+	var locs, funcs protoBuf
+	funcID := func(name, file string) uint64 {
+		key := name + "\x00" + file
+		if id, ok := funcByKey[key]; ok {
+			return id
+		}
+		id := uint64(len(funcByKey) + 1)
+		funcByKey[key] = id
+		nameID, fileID := st.id(name), st.id(file)
+		funcs.msgField(5, func(p *protoBuf) {
+			p.uintField(1, id)
+			p.intField(2, nameID)
+			p.intField(4, fileID)
+		})
+		return id
+	}
+	locID := func(pc uintptr) uint64 {
+		if id, ok := locByPC[pc]; ok {
+			return id
+		}
+		id := uint64(len(locByPC) + 1)
+		locByPC[pc] = id
+		type line struct {
+			fn   uint64
+			line int64
+		}
+		var lines []line
+		frames := runtime.CallersFrames([]uintptr{pc})
+		for {
+			fr, more := frames.Next()
+			name := fr.Function
+			if name == "" {
+				name = "unknown"
+			}
+			lines = append(lines, line{funcID(name, fr.File), int64(fr.Line)})
+			if !more {
+				break
+			}
+		}
+		locs.msgField(4, func(p *protoBuf) {
+			p.uintField(1, id)
+			p.uintField(2, 1) // mapping_id
+			p.uintField(3, uint64(pc))
+			for _, l := range lines {
+				p.msgField(4, func(lp *protoBuf) {
+					lp.uintField(1, l.fn)
+					lp.intField(2, l.line)
+				})
+			}
+		})
+		return id
+	}
+
+	lockKeyID := st.id("lock")
+	for _, s := range samples {
+		lockNameID := st.id(s.lock)
+		ids := make([]uint64, 0, len(s.pcs))
+		for _, pc := range s.pcs {
+			ids = append(ids, locID(pc))
+		}
+		count, delay := s.count, s.delay
+		prof.msgField(2, func(p *protoBuf) {
+			for _, id := range ids {
+				p.uintField(1, id)
+			}
+			// value is repeated: both entries written even when zero so
+			// positions match sample_type.
+			p.uintFieldAlways(2, uint64(count))
+			p.uintFieldAlways(2, uint64(delay))
+			p.msgField(3, func(lp *protoBuf) {
+				lp.intField(1, lockKeyID)
+				lp.intField(2, lockNameID)
+			})
+		})
+	}
+
+	// Mapping (one synthetic entry; Go tools accept it for pure-Go
+	// profiles).
+	binID := st.id("concord")
+	prof.msgField(3, func(p *protoBuf) {
+		p.uintField(1, 1)
+		p.intField(5, binID)
+	})
+
+	prof.b = append(prof.b, locs.b...)
+	prof.b = append(prof.b, funcs.b...)
+
+	// String table: every entry including "".
+	for _, s := range st.list {
+		prof.stringField(6, s)
+	}
+
+	prof.intField(9, now)                 // time_nanos
+	prof.intField(10, now-c.startNS)      // duration_nanos
+	prof.msgField(11, func(p *protoBuf) { // period_type: contentions/count
+		p.intField(1, contentionsID)
+		p.intField(2, countID)
+	})
+	// period: 1 stack sample per rate×siteRate contended events (window
+	// sampling times the stack-capture sub-sampling).
+	prof.intField(12, c.rate*c.siteRate)
+
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	if _, err := zw.Write(prof.b); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}

@@ -78,13 +78,148 @@ func (h *Histogram) Count() int64 {
 	return n
 }
 
-// Mean returns the mean sample, or 0 with no samples.
-func (h *Histogram) Mean() int64 {
-	n := h.Count()
-	if n == 0 {
+// HistogramSnapshot is a self-consistent copy of a Histogram. The live
+// histogram's words are independent atomics, so a reader interleaving
+// with Record can pair a sum that includes a sample with a bucket array
+// that does not (or vice versa); Snapshot reconciles the pair so that
+// derived statistics (Mean, Percentile) always lie within the bounds
+// implied by the bucket counts. All exports should derive from one
+// snapshot rather than re-reading the live histogram per statistic.
+type HistogramSnapshot struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Snapshot captures a consistent view of the histogram. The sum is
+// re-read after the bucket scan (with a bounded retry while writers are
+// racing) and then clamped into the [Σ n_b·lower_b, Σ n_b·upper_b]
+// envelope the captured buckets imply, with the recorded max as the
+// effective upper bound of the top non-empty bucket. Under concurrent
+// Record the snapshot may trail the live histogram by in-flight
+// samples, but it is never internally torn: Mean() of a snapshot is
+// always within the value bounds of its own buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	sum := h.sum.Load()
+	for attempt := 0; ; attempt++ {
+		s.Count = 0
+		for b := 0; b < histBuckets; b++ {
+			n := h.buckets[b].Load()
+			s.Buckets[b] = n
+			s.Count += n
+		}
+		s.Max = h.max.Load()
+		again := h.sum.Load()
+		if again == sum || attempt >= 3 {
+			s.Sum = again
+			break
+		}
+		sum = again
+	}
+	s.clampSum()
+	return s
+}
+
+// clampSum forces Sum into the envelope the buckets allow. A sample in
+// bucket b is at least bucketLower(b) and at most min(upper bound, Max);
+// Max can itself lag a concurrently recorded sample, so the per-bucket
+// floor still wins when Max reads below it.
+func (s *HistogramSnapshot) clampSum() {
+	var lo, hi int64
+	for b, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		lower := bucketLower(b)
+		upper := BucketUpperBound(b)
+		if s.Max < upper {
+			upper = s.Max
+		}
+		if upper < lower {
+			upper = lower
+		}
+		lo = satAdd(lo, satMul(n, lower))
+		hi = satAdd(hi, satMul(n, upper))
+	}
+	if s.Sum < lo {
+		s.Sum = lo
+	}
+	if s.Sum > hi {
+		s.Sum = hi
+	}
+}
+
+// bucketLower is the smallest sample value bucket b can hold.
+func bucketLower(b int) int64 {
+	if b <= 0 {
 		return 0
 	}
-	return h.sum.Load() / n
+	return int64(1) << uint(b-1)
+}
+
+// satAdd / satMul are int64 saturating arithmetic over non-negative
+// operands for the clamp bounds (the top bucket envelope can overflow a
+// plain multiply).
+func satAdd(a, b int64) int64 {
+	c := a + b
+	if c < 0 {
+		return math.MaxInt64
+	}
+	return c
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	c := a * b
+	if c/a != b || c < 0 {
+		return math.MaxInt64
+	}
+	return c
+}
+
+// Mean returns the mean sample of the snapshot, or 0 with no samples.
+func (s *HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Percentile returns an upper bound for the p-th percentile of the
+// snapshot, with the same edge-case semantics as Histogram.Percentile.
+func (s *HistogramSnapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(float64(s.Count) * p / 100.0)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += s.Buckets[b]
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			if b == histBuckets-1 {
+				return s.Max // clamp bucket: bound is meaningless
+			}
+			return 1 << b // exclusive upper bound of bucket
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the mean sample, or 0 with no samples. It reads through
+// Snapshot so the sum/count pair is never torn under concurrent Record.
+func (h *Histogram) Mean() int64 {
+	s := h.Snapshot()
+	return s.Mean()
 }
 
 // Max returns the largest sample.
@@ -94,33 +229,14 @@ func (h *Histogram) Max() int64 { return h.max.Load() }
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
 // Percentile returns an upper bound for the p-th percentile (p in
-// [0,100]) at log2 resolution. Edge cases: an empty histogram reports 0;
-// p <= 0 reports the bound of the smallest non-empty bucket; when the
-// target lands in the final clamp bucket the recorded Max is returned,
-// since the bucket's nominal bound (MaxInt64) carries no information.
+// [0,100]) at log2 resolution, computed over one consistent Snapshot.
+// Edge cases: an empty histogram reports 0; p <= 0 reports the bound of
+// the smallest non-empty bucket; when the target lands in the final
+// clamp bucket the recorded Max is returned, since the bucket's nominal
+// bound (MaxInt64) carries no information.
 func (h *Histogram) Percentile(p float64) int64 {
-	n := h.Count()
-	if n == 0 {
-		return 0
-	}
-	target := int64(float64(n) * p / 100.0)
-	if target < 1 {
-		target = 1
-	}
-	var seen int64
-	for b := 0; b < histBuckets; b++ {
-		seen += h.buckets[b].Load()
-		if seen >= target {
-			if b == 0 {
-				return 0
-			}
-			if b == histBuckets-1 {
-				return h.max.Load() // clamp bucket: bound is meaningless
-			}
-			return 1 << b // exclusive upper bound of bucket
-		}
-	}
-	return h.max.Load()
+	s := h.Snapshot()
+	return s.Percentile(p)
 }
 
 // Buckets returns a copy of the raw bucket counts.

@@ -1,0 +1,105 @@
+package concord
+
+import (
+	"concord/internal/core"
+	"concord/internal/profile"
+)
+
+// --- Continuous contention profiling & flight recorder ---
+//
+// The on-demand profiler (StartProfiling) answers "what is this lock
+// doing right now, at full fidelity". The continuous profiler answers
+// the production question instead: sampled (1-in-N, one atomic check
+// when disarmed), always on, windowed into rotating epochs so "recent"
+// means the last window rather than since boot, with caller-site
+// attribution exportable as a pprof contention profile. The flight
+// recorder closes the loop on failures: every supervisor trip captures
+// a diagnostic bundle to disk.
+
+// ContinuousProfiler is the sampled, epoch-windowed contention
+// profiler; attach with WithContinuousProfiling or
+// Framework.EnableContinuousProfiling.
+type ContinuousProfiler = profile.Continuous
+
+// ContinuousProfilerConfig configures sampling rate (rounded up to a
+// power of two), window length, and top-K call-site depth.
+type ContinuousProfilerConfig = profile.ContinuousConfig
+
+// WindowSnapshot is one lock's most recent profiling window: scaled
+// event counts, contention rate, wait/hold percentiles, queue depth.
+type WindowSnapshot = profile.WindowSnapshot
+
+// SiteReport is one contending call site's attribution (pprof top row).
+type SiteReport = profile.SiteReport
+
+// DefaultSampleRate is the default 1-in-N sampling rate.
+const DefaultSampleRate = profile.DefaultSampleRate
+
+// NewContinuousProfiler builds a disarmed continuous profiler; call
+// SetEnabled(true) (WithContinuousProfiling does) to start sampling.
+func NewContinuousProfiler(cfg ContinuousProfilerConfig) *ContinuousProfiler {
+	return profile.NewContinuous(cfg)
+}
+
+// ErrNoContinuousProfiling is returned by profile exports when the
+// framework was built without a continuous profiler.
+var ErrNoContinuousProfiling = core.ErrNoContinuousProfiling
+
+// WithContinuousProfiling enables sampled continuous contention
+// profiling on a new framework, armed from the start:
+//
+//	fw := concord.New(topo,
+//	        concord.WithTelemetry(),
+//	        concord.WithContinuousProfiling(concord.ContinuousProfilerConfig{}))
+//
+// Every registered lock gets sampling-gated windowed statistics,
+// policies can read them through the lock_stats_read helper, and the
+// telemetry server (if any) serves the cumulative pprof contention
+// profile at /debug/concord/contention.
+func WithContinuousProfiling(cfg ContinuousProfilerConfig) Option {
+	return func(f *Framework) {
+		c := profile.NewContinuous(cfg)
+		c.SetEnabled(true)
+		f.EnableContinuousProfiling(c)
+	}
+}
+
+// --- Flight recorder ---
+
+// FlightRecorder captures a FlightBundle on every supervisor trip
+// (breaker open, quarantine, watchdog fire, safety trip, drain
+// timeout).
+type FlightRecorder = core.FlightRecorder
+
+// FlightRecorderConfig configures the bundle directory and retention.
+type FlightRecorderConfig = core.FlightRecorderConfig
+
+// FlightBundle is one captured diagnostic bundle: trip classification,
+// trace-ring snapshot with embedded Perfetto timeline, profiling
+// windows, map-plane stats, and the offending policy's disassembly and
+// admission-time analysis.
+type FlightBundle = core.FlightBundle
+
+// FlightBundleSchema identifies the on-disk flight bundle format.
+const FlightBundleSchema = core.FlightBundleSchema
+
+// ReadFlightBundle loads and schema-checks one bundle file.
+func ReadFlightBundle(path string) (*FlightBundle, error) {
+	return core.ReadFlightBundle(path)
+}
+
+// ListFlightBundles returns a directory's bundle files in sequence
+// order.
+func ListFlightBundles(dir string) ([]string, error) {
+	return core.ListFlightBundles(dir)
+}
+
+// WithFlightRecorder enables the flight recorder on a new framework,
+// writing bundles under dir. Construction errors (unwritable dir)
+// surface on the first capture via FlightRecorder.Err; use
+// Framework.EnableFlightRecorder directly to handle them eagerly.
+func WithFlightRecorder(dir string) Option {
+	return func(f *Framework) {
+		_, _ = f.EnableFlightRecorder(FlightRecorderConfig{Dir: dir})
+	}
+}

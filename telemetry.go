@@ -88,5 +88,11 @@ func NewTelemetryServer(fw *Framework) (*TelemetryServer, error) {
 	s.HandleRaw("/trace", "application/json", func() ([]byte, error) {
 		return tel.TraceJSON(fw.LockNameByID)
 	})
+	// Sampled contention profile in pprof format (requires
+	// WithContinuousProfiling; 500s with ErrNoContinuousProfiling
+	// otherwise):
+	//
+	//	go tool pprof http://addr/debug/concord/contention
+	s.HandleRaw("/debug/concord/contention", "application/octet-stream", fw.ContentionProfile)
 	return s, nil
 }
