@@ -16,6 +16,8 @@
 //	concordctl health [-addr host:port | -policy P] [-inject]
 //	concordctl profile [-addr host:port | -policy P] [-pprof] [-o out.pb.gz] [-rate N]
 //	concordctl flightrec [-dir D] list|show file.json
+//	concordctl schedfuzz run [-target T] [-seed N] [-iters N] [-strategy S]
+//	concordctl schedfuzz replay file.schedule.json
 //	concordctl kinds
 //
 // Map specs have the form name:type:keysize:valuesize:maxentries, e.g.
@@ -64,6 +66,8 @@ func main() {
 		err = cmdProfile(os.Args[2:], os.Stdout)
 	case "flightrec":
 		err = cmdFlightrec(os.Args[2:], os.Stdout)
+	case "schedfuzz":
+		err = cmdSchedFuzz(os.Args[2:], os.Stdout)
 	case "kinds":
 		err = cmdKinds()
 	case "-h", "--help", "help":
@@ -111,6 +115,14 @@ commands:
   flightrec [-dir D] list|show <file>
          list flight-recorder bundles captured on supervisor trips, or
          dump one bundle's JSON
+  schedfuzz run [-target T] [-seed N] [-iters N] [-strategy S]
+            [-schedule-out F] [-flight-dir D] [-deadline D]
+         fuzz lock/hook interleavings with seeded perturbation; a
+         detected failure exits 5 and writes a replayable schedule
+  schedfuzz replay [-flight-dir D] <file>
+         deterministically re-execute a recorded schedule file
+  schedfuzz targets
+         list registered fuzz targets
   kinds  list program kinds (the Table 1 hook points)
 `)
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"concord/internal/schedfuzz"
+)
+
+// cmdSchedFuzz implements `concordctl schedfuzz run|replay|targets`: the
+// control-plane entry to the schedule fuzzer, mirroring lockbench's
+// -schedfuzz/-replay mode for operators who live in concordctl.
+func cmdSchedFuzz(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("schedfuzz: want run, replay or targets")
+	}
+	switch args[0] {
+	case "run":
+		return cmdSchedFuzzRun(args[1:], w)
+	case "replay":
+		return cmdSchedFuzzReplay(args[1:], w)
+	case "targets":
+		for _, name := range schedfuzz.TargetNames() {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("schedfuzz: unknown subcommand %q (want run, replay or targets)", args[0])
+	}
+}
+
+func cmdSchedFuzzRun(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("schedfuzz run", flag.ExitOnError)
+	target := fs.String("target", "lock-torture", "fuzz target (see `concordctl schedfuzz targets`)")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	iters := fs.Int("iters", 1, "derived-seed iterations")
+	strategy := fs.String("strategy", "random", "random | pct | targeted")
+	scheduleOut := fs.String("schedule-out", "", "write the (failing or final) schedule file here")
+	flightDir := fs.String("flight-dir", "", "arm a flight recorder for failures in this directory")
+	deadline := fs.Duration("deadline", 0, "per-iteration deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := schedfuzz.NewHarness(schedfuzz.HarnessConfig{
+		Seed:        *seed,
+		Strategy:    *strategy,
+		Target:      *target,
+		Iterations:  *iters,
+		Deadline:    *deadline,
+		ScheduleOut: *scheduleOut,
+		FlightDir:   *flightDir,
+		Out:         os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := h.Run()
+	if err != nil {
+		return err
+	}
+	if res.Failed {
+		fmt.Fprintf(w, "FAIL target=%s seed=%d iter=%d: %v\n", *target, res.Seed, res.Iter, res.Err)
+		if res.SchedulePath != "" {
+			fmt.Fprintf(w, "schedule: %s\n", res.SchedulePath)
+		}
+		for _, b := range res.FlightBundles {
+			fmt.Fprintf(w, "flight bundle: %s\n", b)
+		}
+		os.Exit(5)
+	}
+	fmt.Fprintf(w, "PASS target=%s iterations=%d last seed=%d decisions=%d\n",
+		*target, *iters, res.Seed, res.Decisions)
+	return nil
+}
+
+func cmdSchedFuzzReplay(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("schedfuzz replay", flag.ExitOnError)
+	flightDir := fs.String("flight-dir", "", "arm a flight recorder for the replayed run")
+	deadline := fs.Duration("deadline", 0, "replay deadline (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("schedfuzz replay: one schedule file required")
+	}
+	res, err := schedfuzz.ReplayFile(fs.Arg(0), schedfuzz.ReplayOptions{
+		FlightDir: *flightDir,
+		Deadline:  *deadline,
+		Out:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Failed {
+		state := "NEW FAILURE"
+		if res.Reproduced {
+			state = "REPRODUCED"
+		}
+		fmt.Fprintf(w, "%s seed=%d: %v\n", state, res.Seed, res.Err)
+		for _, b := range res.FlightBundles {
+			fmt.Fprintf(w, "flight bundle: %s\n", b)
+		}
+		os.Exit(5)
+	}
+	fmt.Fprintf(w, "CLEAN seed=%d decisions=%d\n", res.Seed, res.Decisions)
+	return nil
+}

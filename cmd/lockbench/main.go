@@ -35,6 +35,20 @@
 // exiting 4 if any cell regressed significantly (throughput or
 // allocs/op). -pooling off re-measures with queue-node pooling disabled,
 // which is how the pre-optimization BENCH_seed.json was produced.
+//
+// Schedule-fuzz mode (the internal/schedfuzz harness):
+//
+//	lockbench -schedfuzz lock-torture|map-churn|chaos|seq-lock|selftest
+//	          [-seed N] [-schedfuzz-iters N]
+//	          [-schedfuzz-strategy random|pct|targeted]
+//	          [-schedule-out f.json] [-flight-dir d] [-deadline 2m]
+//	lockbench -replay f.json [-flight-dir d]
+//
+// A detected failure exits 5 and writes a replayable schedule file (plus
+// a flight bundle when -flight-dir is set); -replay re-executes the
+// recorded decision sequence deterministically. With both -schedfuzz and
+// -deadline, a tripped deadline persists the schedule and bundle before
+// the goroutine dump.
 package main
 
 import (
@@ -71,11 +85,22 @@ func main() {
 	profileOn := flag.Bool("profile", false, "run -regress with continuous contention profiling armed on every real-lock cell")
 	profileRate := flag.Int("profile-rate", 0, "1-in-N sampling rate for -profile (0 = default)")
 	profileOut := flag.String("profile-out", "", "write the -profile pprof contention profile here after the run")
+	fuzzTarget := flag.String("schedfuzz", "", "run the schedule fuzzer against this target (see internal/schedfuzz; e.g. lock-torture, map-churn, chaos)")
+	fuzzReplay := flag.String("replay", "", "replay a recorded schedule file instead of fuzzing")
+	fuzzSeed := flag.Uint64("seed", 1, "campaign seed for -schedfuzz; a failing iteration is reproducible from this plus the printed iteration seed")
+	fuzzIters := flag.Int("schedfuzz-iters", 1, "derived-seed iterations per -schedfuzz campaign")
+	fuzzStrategy := flag.String("schedfuzz-strategy", "random", "schedule perturbation strategy: random | pct | targeted")
+	fuzzScheduleOut := flag.String("schedule-out", "", "write the (failing or final) schedule file here")
+	fuzzFlightDir := flag.String("flight-dir", "", "arm a flight recorder for -schedfuzz/-replay failures in this directory")
 	flag.Parse()
 
 	if *deadline > 0 {
 		time.AfterFunc(*deadline, func() {
 			fmt.Fprintf(os.Stderr, "lockbench: deadline %v exceeded — dumping goroutines\n", *deadline)
+			// A wedged fuzzed run first persists its reproduction
+			// recipe: the schedule file and (when -flight-dir is set) a
+			// flight bundle carrying the goroutine dump.
+			deadlineFuzzDump(os.Stderr)
 			// The stacks say *which* lock operation wedged — the
 			// diagnostic a silent CI timeout would throw away.
 			if prof := pprof.Lookup("goroutine"); prof != nil {
@@ -83,6 +108,18 @@ func main() {
 			}
 			os.Exit(3)
 		})
+	}
+
+	if *fuzzTarget != "" || *fuzzReplay != "" {
+		os.Exit(runSchedFuzz(schedFuzzFlags{
+			target:      *fuzzTarget,
+			replay:      *fuzzReplay,
+			seed:        *fuzzSeed,
+			iters:       *fuzzIters,
+			strategy:    *fuzzStrategy,
+			scheduleOut: *fuzzScheduleOut,
+			flightDir:   *fuzzFlightDir,
+		}))
 	}
 
 	if *regress {

@@ -152,3 +152,69 @@ func TestLockbenchRegress(t *testing.T) {
 		t.Error("bad -pooling accepted")
 	}
 }
+
+// TestLockbenchSchedFuzzReplayLoop drives the acceptance loop through
+// the binary: a seeded fuzz run that fails exits 5 and writes a
+// schedule file, and -replay deterministically reproduces the same
+// failure from it.
+func TestLockbenchSchedFuzzReplayLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildLockbench(t)
+	dir := t.TempDir()
+	sched := filepath.Join(dir, "fail.schedule.json")
+
+	exitCode := func(err error) int {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			return ee.ExitCode()
+		}
+		if err != nil {
+			return -1
+		}
+		return 0
+	}
+
+	// Seed 3 trips the selftest invariant on iteration 0.
+	var out bytes.Buffer
+	cmd := exec.Command(bin, "-schedfuzz", "selftest", "-seed", "3",
+		"-schedfuzz-iters", "32", "-schedule-out", sched, "-flight-dir", dir)
+	cmd.Stderr = &out
+	if code := exitCode(cmd.Run()); code != 5 {
+		t.Fatalf("fuzz run exit %d, want 5:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "seed=3") {
+		t.Errorf("run did not print its seed:\n%s", out.String())
+	}
+	if _, err := os.Stat(sched); err != nil {
+		t.Fatalf("schedule file not written: %v", err)
+	}
+	bundles, _ := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if len(bundles) == 0 {
+		t.Error("no flight bundle written")
+	}
+
+	out.Reset()
+	cmd = exec.Command(bin, "-replay", sched)
+	cmd.Stderr = &out
+	if code := exitCode(cmd.Run()); code != 5 {
+		t.Fatalf("replay exit %d, want 5 (reproduced failure):\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "replay FAILED") {
+		t.Errorf("replay did not report the failure:\n%s", out.String())
+	}
+
+	// A clean deterministic target exits 0.
+	out.Reset()
+	cmd = exec.Command(bin, "-schedfuzz", "seq-lock", "-seed", "7")
+	cmd.Stderr = &out
+	if code := exitCode(cmd.Run()); code != 0 {
+		t.Fatalf("seq-lock exit %d, want 0:\n%s", code, out.String())
+	}
+
+	// Unknown target is a usage error, not a crash.
+	if code := exitCode(exec.Command(bin, "-schedfuzz", "bogus").Run()); code != 2 {
+		t.Fatalf("unknown target exit %d, want 2", code)
+	}
+}

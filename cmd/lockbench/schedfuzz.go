@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"concord/internal/schedfuzz"
+)
+
+// activeFuzz publishes the running schedule-fuzz harness to the
+// -deadline AfterFunc: a wedged fuzzed run must leave a replayable
+// schedule file and a flight bundle behind, not just a stderr stack
+// dump.
+var activeFuzz atomic.Pointer[schedfuzz.Harness]
+
+// deadlineFuzzDump gives the active fuzz harness (if any) its chance to
+// persist diagnostics before the process exits on a tripped deadline.
+func deadlineFuzzDump(w io.Writer) {
+	if h := activeFuzz.Load(); h != nil {
+		h.DeadlineDump(w)
+	}
+}
+
+// schedFuzzFlags carries the -schedfuzz/-replay flag values out of main.
+type schedFuzzFlags struct {
+	target      string
+	replay      string
+	seed        uint64
+	iters       int
+	strategy    string
+	scheduleOut string
+	flightDir   string
+}
+
+// runSchedFuzz drives a fuzz campaign (-schedfuzz TARGET) or a replay
+// (-replay FILE). Exit codes: 0 clean, 2 bad usage, 5 failure detected
+// (a failing campaign is a *successful* bug hunt — the schedule file on
+// disk is the product).
+func runSchedFuzz(ff schedFuzzFlags) int {
+	if ff.replay != "" {
+		res, err := schedfuzz.ReplayFile(ff.replay, schedfuzz.ReplayOptions{
+			FlightDir: ff.flightDir,
+			Out:       os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			return 2
+		}
+		if res.Failed {
+			return 5
+		}
+		return 0
+	}
+
+	h, err := schedfuzz.NewHarness(schedfuzz.HarnessConfig{
+		Seed:        ff.seed,
+		Strategy:    ff.strategy,
+		Target:      ff.target,
+		Iterations:  ff.iters,
+		ScheduleOut: ff.scheduleOut,
+		FlightDir:   ff.flightDir,
+		Out:         os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		return 2
+	}
+	activeFuzz.Store(h)
+	defer activeFuzz.Store(nil)
+	res, err := h.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		return 2
+	}
+	if res.Failed {
+		return 5
+	}
+	fmt.Fprintf(os.Stderr, "lockbench: schedfuzz clean (%d iteration(s), last seed %d, %d decisions)\n",
+		ff.iters, res.Seed, res.Decisions)
+	return 0
+}

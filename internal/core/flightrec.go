@@ -26,6 +26,12 @@ const FlightBundleSchema = "concord-flightrec/1"
 // was enabled.
 var ErrNoFlightRecorder = errors.New("concord: flight recorder not enabled")
 
+// ErrSchedFuzz classifies failures detected by the schedule fuzzer
+// (invariant violations, operational errors, or deadline trips under a
+// fuzzed interleaving). Wrap it so classifyTrigger files the bundle
+// under the "schedfuzz" trigger.
+var ErrSchedFuzz = errors.New("concord: schedule fuzzer detected failure")
+
 // FlightRecorderConfig configures the supervisor flight recorder.
 type FlightRecorderConfig struct {
 	// Dir is where bundles are written (created if missing).
@@ -52,8 +58,15 @@ type FlightBundle struct {
 
 	Lock    string `json:"lock"`
 	Policy  string `json:"policy"`
-	Trigger string `json:"trigger"` // breaker-open | quarantine | watchdog | safety-trip | drain-timeout
+	Trigger string `json:"trigger"` // breaker-open | quarantine | watchdog | safety-trip | drain-timeout | schedfuzz
 	Error   string `json:"error"`
+
+	// SchedulePath points at the replayable schedule file for
+	// schedfuzz-triggered bundles ("" otherwise).
+	SchedulePath string `json:"schedule_path,omitempty"`
+	// Goroutines is a full goroutine dump, captured when the trip was a
+	// deadline (wedged run) rather than a returned error.
+	Goroutines string `json:"goroutines,omitempty"`
 
 	Breaker     string `json:"breaker"`
 	Quarantined bool   `json:"quarantined"`
@@ -173,11 +186,16 @@ type tripSnapshot struct {
 	safetyTrips int
 	faults      int64
 	costBound   int64
+
+	schedulePath string
+	goroutines   string
 }
 
 // classifyTrigger maps a trip error to the bundle trigger taxonomy.
 func classifyTrigger(err error, quarantine bool) string {
 	switch {
+	case errors.Is(err, ErrSchedFuzz):
+		return "schedfuzz"
 	case errors.Is(err, ErrHookLatency):
 		return "watchdog"
 	case errors.Is(err, ErrSafetyTrip):
@@ -189,6 +207,21 @@ func classifyTrigger(err error, quarantine bool) string {
 	default:
 		return "breaker-open"
 	}
+}
+
+// CaptureSchedFuzz schedules a bundle for a failure the schedule
+// fuzzer detected: target identifies the fuzz target (filed in the
+// Lock field), err is the detected failure, schedulePath the written
+// replay file, and goroutines an optional goroutine dump (deadline
+// trips). The bundle is classified under the "schedfuzz" trigger.
+func (fr *FlightRecorder) CaptureSchedFuzz(target string, err error, schedulePath, goroutines string) {
+	fr.capture(tripSnapshot{
+		lock:         target,
+		policyName:   "schedfuzz",
+		err:          fmt.Errorf("%w: %w", ErrSchedFuzz, err),
+		schedulePath: schedulePath,
+		goroutines:   goroutines,
+	})
 }
 
 // capture schedules one bundle write. Called from trip paths with
@@ -225,6 +258,8 @@ func (fr *FlightRecorder) collect(snap tripSnapshot) *FlightBundle {
 	if snap.err != nil {
 		b.Error = snap.err.Error()
 	}
+	b.SchedulePath = snap.schedulePath
+	b.Goroutines = snap.goroutines
 
 	if tel := f.Telemetry(); tel != nil {
 		b.Trace = tel.Ring.Snapshot()

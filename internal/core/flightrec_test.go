@@ -298,3 +298,45 @@ func TestFlightRecorderRejectsBadInput(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestFlightRecorderCaptureSchedFuzz: the schedule fuzzer's trip class
+// files a bundle under the "schedfuzz" trigger carrying the replayable
+// schedule path and the goroutine dump alongside the usual diagnostic
+// state.
+func TestFlightRecorderCaptureSchedFuzz(t *testing.T) {
+	_, fr, _, _ := flightFixture(t, SupervisorConfig{
+		MaxRetries:     5,
+		InitialBackoff: time.Millisecond,
+	})
+
+	fr.CaptureSchedFuzz("lock-torture", errors.New("ops conserved badly"),
+		"/tmp/x.schedule.json", "goroutine 1 [running]: ...")
+	fr.Wait()
+	if err := fr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	files := fr.Bundles()
+	if len(files) != 1 {
+		t.Fatalf("bundles = %d, want 1", len(files))
+	}
+	b, err := ReadFlightBundle(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Trigger != "schedfuzz" {
+		t.Errorf("trigger %q, want schedfuzz", b.Trigger)
+	}
+	if b.Lock != "lock-torture" || b.Policy != "schedfuzz" {
+		t.Errorf("identity lock=%q policy=%q", b.Lock, b.Policy)
+	}
+	if b.SchedulePath != "/tmp/x.schedule.json" {
+		t.Errorf("schedule path %q", b.SchedulePath)
+	}
+	if !strings.Contains(b.Goroutines, "goroutine 1") {
+		t.Errorf("goroutine dump lost: %q", b.Goroutines)
+	}
+	if !strings.Contains(b.Error, "ops conserved badly") ||
+		!strings.Contains(b.Error, ErrSchedFuzz.Error()) {
+		t.Errorf("error %q missing wrapped cause", b.Error)
+	}
+}

@@ -36,7 +36,10 @@ import (
 // Config describes one chaos run.
 type Config struct {
 	// Seed drives every armed site's random stream (via faultinject.Plan);
-	// the same seed reproduces the same fault sequence per site.
+	// the same seed reproduces the same fault sequence per site. Ad hoc
+	// per-site Config.Seed values inside Plan are overridden with
+	// faultinject.SiteSeed(Seed, name): the run must be reproducible
+	// from this one integer alone.
 	Seed uint64
 	// Plan maps site names to arm configurations. Applied after the
 	// policy is attached, so attach itself is not perturbed unless the
@@ -87,17 +90,17 @@ func (c *Config) defaults() {
 // Snapshot is the observable state of a harness at one instant; tests
 // diff and assert on it.
 type Snapshot struct {
-	Ops          int64 // total workload ops completed so far
-	Breaker      core.BreakerState
-	Retries      int
-	Faults       int64            // attachment policy-fault total
-	Fires        map[string]int64 // injected fires per site since New
-	ParkRescues  int64
-	SafetyError  string // lock invariant violation, "" when conserved
-	Fallbacks    int64  // obs: safety fallback hook swaps
-	Reattaches   int64
+	Ops           int64 // total workload ops completed so far
+	Breaker       core.BreakerState
+	Retries       int
+	Faults        int64            // attachment policy-fault total
+	Fires         map[string]int64 // injected fires per site since New
+	ParkRescues   int64
+	SafetyError   string // lock invariant violation, "" when conserved
+	Fallbacks     int64  // obs: safety fallback hook swaps
+	Reattaches    int64
 	BreakerCloses int64
-	Quarantines  int64
+	Quarantines   int64
 }
 
 // TotalInjectedFaults sums the fires of the error-delivering policy
@@ -115,10 +118,10 @@ type Harness struct {
 	Lock *locks.ShflLock
 	Att  *core.Attachment
 
-	cfg   Config
-	topo  *topology.Topology
-	base  map[string]int64 // site fires at New time
-	ops   int64
+	cfg  Config
+	topo *topology.Topology
+	base map[string]int64 // site fires at New time
+	ops  int64
 }
 
 // New builds the stack, attaches the supervised policy, and arms the
@@ -176,7 +179,16 @@ func New(cfg Config) (*Harness, error) {
 	for _, s := range faultinject.Sites() {
 		base[s.Name()] = s.Fires()
 	}
-	plan := faultinject.Plan{Seed: cfg.Seed, Sites: cfg.Plan}
+	// One run seed governs every site stream: ad hoc per-site Seed
+	// overrides are re-derived from cfg.Seed so the whole run is
+	// reproducible from the single integer Seed() reports, not from N
+	// scattered ones.
+	sites := make(map[string]faultinject.Config, len(cfg.Plan))
+	for name, sc := range cfg.Plan {
+		sc.Seed = faultinject.SiteSeed(cfg.Seed, name)
+		sites[name] = sc
+	}
+	plan := faultinject.Plan{Seed: cfg.Seed, Sites: sites}
 	if err := plan.Apply(); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
@@ -186,6 +198,10 @@ func New(cfg Config) (*Harness, error) {
 // Close disarms every injection site (the harness armed a subset; a
 // full disarm restores the production nil-check everywhere).
 func (h *Harness) Close() { faultinject.DisarmAll() }
+
+// Seed reports the run seed every armed site's stream derives from —
+// print it and the run is reproducible from that one integer.
+func (h *Harness) Seed() uint64 { return h.cfg.Seed }
 
 // RunRound drives one hashtable round through the (possibly degraded)
 // lock and returns its result. Progress of this call under injected

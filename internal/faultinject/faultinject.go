@@ -223,14 +223,23 @@ func (p Plan) Apply() error {
 			return fmt.Errorf("faultinject: unknown site %q", name)
 		}
 		if cfg.Seed == 0 {
-			cfg.Seed = p.Seed ^ hashName(name)
-			if cfg.Seed == 0 {
-				cfg.Seed = 1
-			}
+			cfg.Seed = SiteSeed(p.Seed, name)
 		}
 		s.Arm(cfg)
 	}
 	return nil
+}
+
+// SiteSeed derives the per-site stream seed a Plan with the given run
+// seed gives to site name. Exported so harnesses that need one printed
+// integer to reproduce a run (chaos, schedfuzz) can pin — and record —
+// the exact streams the Plan machinery arms.
+func SiteSeed(runSeed uint64, name string) uint64 {
+	seed := runSeed ^ hashName(name)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
 }
 
 // --- Concord's fixed injection sites ---

@@ -7,6 +7,7 @@ import (
 	"concord/internal/faultinject"
 	"concord/internal/locks"
 	"concord/internal/profile"
+	"concord/internal/schedfuzz/schedstats"
 	"concord/internal/syncx/park"
 )
 
@@ -137,6 +138,18 @@ func NewTelemetry() *Telemetry {
 		add(Sample{Name: "concord_qnode_allocs_total", Kind: KindCounter,
 			Value: float64(locks.QnodeAllocs())})
 	})
+	// Schedule-fuzzer counters live in the schedstats leaf package so
+	// the fuzzer (which sits above obs in the import graph) can count
+	// without a cycle.
+	reg.AddExternal(func(add func(Sample)) {
+		ss := schedstats.Snapshot()
+		add(Sample{Name: "concord_schedfuzz_decisions_total", Kind: KindCounter,
+			Value: float64(ss.Decisions)})
+		add(Sample{Name: "concord_schedfuzz_forced_parks_total", Kind: KindCounter,
+			Value: float64(ss.ForcedParks)})
+		add(Sample{Name: "concord_schedfuzz_failures_total", Kind: KindCounter,
+			Value: float64(ss.Failures)})
+	})
 	return t
 }
 
@@ -245,14 +258,14 @@ type LockRow struct {
 	// (max across its programs), filled by core from the analysis report.
 	CostBoundNS  int64 `json:"cost_bound_ns,omitempty"`
 	Acquisitions int64 `json:"acquisitions"`
-	Contentions  int64  `json:"contentions"`
-	Releases     int64  `json:"releases"`
-	ReadAcqs     int64  `json:"read_acquisitions"`
-	WaitTotalNS  int64  `json:"wait_total_ns"`
-	WaitMeanNS   int64  `json:"wait_mean_ns"`
-	WaitP99NS    int64  `json:"wait_p99_ns"`
-	HoldMeanNS   int64  `json:"hold_mean_ns"`
-	HoldMaxNS    int64  `json:"hold_max_ns"`
+	Contentions  int64 `json:"contentions"`
+	Releases     int64 `json:"releases"`
+	ReadAcqs     int64 `json:"read_acquisitions"`
+	WaitTotalNS  int64 `json:"wait_total_ns"`
+	WaitMeanNS   int64 `json:"wait_mean_ns"`
+	WaitP99NS    int64 `json:"wait_p99_ns"`
+	HoldMeanNS   int64 `json:"hold_mean_ns"`
+	HoldMaxNS    int64 `json:"hold_max_ns"`
 	// Recent* come from the continuous profiler's freshest window (not
 	// cumulative like the fields above), filled by core when continuous
 	// profiling is enabled; RecentWindowNS is the window length.

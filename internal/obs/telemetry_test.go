@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"concord/internal/locks"
+	"concord/internal/schedfuzz/schedstats"
 	"concord/internal/syncx/park"
 	"concord/internal/task"
 	"concord/internal/topology"
@@ -176,5 +177,36 @@ func TestTelemetryExportsParkAndPoolCounters(t *testing.T) {
 		if strings.Contains(out, frag) {
 			t.Errorf("counter unexpectedly zero: %s\n%s", frag, out)
 		}
+	}
+}
+
+// TestSchedFuzzCountersExported: the schedule fuzzer's counters (kept
+// in the schedstats leaf package to break the obs<-schedfuzz cycle)
+// must appear in every scrape.
+func TestSchedFuzzCountersExported(t *testing.T) {
+	base := schedstats.Snapshot()
+	schedstats.AddDecision()
+	schedstats.AddForcedPark()
+	schedstats.AddFailure()
+
+	tel := NewTelemetry()
+	var sb strings.Builder
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"concord_schedfuzz_decisions_total",
+		"concord_schedfuzz_forced_parks_total",
+		"concord_schedfuzz_failures_total",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("scrape missing %s:\n%s", name, out)
+		}
+	}
+	now := schedstats.Snapshot()
+	if now.Decisions <= base.Decisions || now.ForcedParks <= base.ForcedParks ||
+		now.Failures <= base.Failures {
+		t.Errorf("counters did not advance: %+v -> %+v", base, now)
 	}
 }

@@ -1,0 +1,71 @@
+package schedfuzz
+
+import (
+	"time"
+
+	"concord/internal/core"
+	"concord/internal/faultinject"
+	"concord/internal/faultinject/chaos"
+)
+
+func init() { RegisterTarget(chaosTarget{}) }
+
+// chaosTarget runs the chaos harness as a fuzz target: the full
+// Concord stack (framework + supervised policy on a blocking ShflLock)
+// under a fault plan whose per-site streams all derive from the fuzz
+// run seed — schedule-steering delays and dropped wakeups on the park
+// plane plus low-probability policy faults to keep the breaker path
+// hot. Invariants are the chaos suite's global ones: exact op
+// conservation per round, a conserved queue, and exact fault
+// accounting (observed policy faults == injected error-site fires).
+type chaosTarget struct{}
+
+func (chaosTarget) Name() string { return "chaos" }
+func (chaosTarget) Params() map[string]int64 {
+	return map[string]int64{"rounds": 3, "workers": 4, "ops": 200, "blocking": 1, "fault_pm": 2}
+}
+
+func (chaosTarget) Run(env *Env, params map[string]int64) error {
+	cfg := env.F.Config()
+	faultProb := float64(param(params, "fault_pm", 2)) / 1000
+	sites := FaultPlanSites(cfg)
+	sites["policy.helper"] = faultinject.Config{Probability: faultProb}
+	sites["policy.mapop"] = faultinject.Config{Probability: faultProb}
+	env.RecordPlan(sites)
+
+	h, err := chaos.New(chaos.Config{
+		Seed:         cfg.Seed,
+		Plan:         sites,
+		Blocking:     param(params, "blocking", 1) != 0,
+		Workers:      int(param(params, "workers", 4)),
+		OpsPerWorker: int(param(params, "ops", 200)),
+		Supervisor: core.SupervisorConfig{
+			MaxRetries:     1 << 20, // soak the heal loop, never quarantine
+			InitialBackoff: time.Millisecond,
+			Probation:      5 * time.Millisecond,
+		},
+		FlightDir: env.FlightDir,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	rounds := int(param(params, "rounds", 3))
+	for i := 0; i < rounds; i++ {
+		env.F.Point("chaos.round")
+		res := h.RunRound()
+		if res.Ops != h.ExpectedOpsPerRound() {
+			return Invariantf("chaos round %d lost ops: %d != %d", i, res.Ops, h.ExpectedOpsPerRound())
+		}
+	}
+	s := h.Snapshot()
+	if s.SafetyError != "" {
+		return Invariantf("chaos queue not conserved: %s", s.SafetyError)
+	}
+	if s.Faults != s.TotalInjectedFaults() {
+		return Invariantf("chaos fault accounting drifted: observed %d != injected %d",
+			s.Faults, s.TotalInjectedFaults())
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package schedfuzz
+
+import (
+	"time"
+
+	"concord/internal/faultinject"
+	"concord/internal/locks"
+	"concord/internal/schedfuzz/schedstats"
+)
+
+// Decision-site names for the lock hook plane (DESIGN.md §9 taxonomy).
+const (
+	SiteLockAcquire        = "lock.acquire"
+	SiteLockContended      = "lock.contended"
+	SiteLockAcquired       = "lock.acquired"
+	SiteLockRelease        = "lock.release"
+	SiteLockScheduleWaiter = "lock.schedule_waiter"
+)
+
+// LockHooks builds the fuzzer's scheduler policy for a lock: a hook
+// table that consults the fuzzer at every Table-1 decision point and
+// perturbs the schedule accordingly — bounded delays inside the
+// profiling hooks (stretching the pre-acquire, post-acquire and
+// release windows) and forced parks / forced spins from the
+// schedule_waiter hook. Install it through the lock's livepatch slot
+// (InstallHooks) — the same mechanism real policies attach by.
+func LockHooks(f *Fuzzer) *locks.Hooks {
+	perturb := func(site string) func(ev *locks.Event) {
+		return func(ev *locks.Event) {
+			var id int64
+			if ev.Task != nil {
+				id = ev.Task.ID()
+			}
+			f.Apply(f.AtTask(site, id))
+		}
+	}
+	return &locks.Hooks{
+		Name:        "schedfuzz",
+		OnAcquire:   perturb(SiteLockAcquire),
+		OnContended: perturb(SiteLockContended),
+		OnAcquired:  perturb(SiteLockAcquired),
+		OnRelease:   perturb(SiteLockRelease),
+		ScheduleWaiter: func(info *locks.WaitInfo) int {
+			var id int64
+			if info.Curr != nil && info.Curr.Task != nil {
+				id = info.Curr.Task.ID()
+			}
+			switch a := f.AtTask(SiteLockScheduleWaiter, id); a.Kind {
+			case ActPark:
+				schedstats.AddForcedPark()
+				return locks.WaitParkNow
+			case ActDelay:
+				// Forcing the waiter to keep spinning (instead of
+				// sleeping here) perturbs the park/spin interleaving
+				// without adding a hidden third wait state.
+				schedstats.AddDelay()
+				return locks.WaitKeepSpinning
+			default:
+				return locks.WaitDefault
+			}
+		},
+	}
+}
+
+// InstallHooks patches the fuzzer's hook table into a lock and waits
+// for the livepatch transition to drain, returning an uninstall
+// function that restores the empty table (and drains again).
+func InstallHooks(f *Fuzzer, l locks.Hooked) (uninstall func()) {
+	slot := l.HookSlot()
+	p := slot.Replace("schedfuzz", LockHooks(f))
+	p.Wait()
+	return func() {
+		slot.Replace("schedfuzz-off", nil).Wait()
+	}
+}
+
+// FaultPlanSites derives the fuzzer's faultinject arm set for the nine
+// injection sites: delay-class perturbation on the latency-shaped
+// sites (policy.latency, locks.park_delay) plus dropped wakeups at low
+// probability — schedule steering, not fault injection, so the
+// error-delivering sites stay disarmed unless a target arms them
+// itself. Per-site stream seeds derive from the run seed through the
+// same faultinject.SiteSeed the Plan machinery uses, so one integer
+// reproduces every stream.
+func FaultPlanSites(cfg Config) map[string]faultinject.Config {
+	delay := cfg.MaxDelay
+	if delay <= 0 {
+		delay = 200 * time.Microsecond
+	}
+	return map[string]faultinject.Config{
+		"policy.latency":    {Probability: cfg.DelayProb, Delay: delay},
+		"locks.park_delay":  {Probability: cfg.DelayProb, Delay: delay},
+		"locks.lost_wakeup": {Probability: cfg.ParkProb / 2},
+	}
+}
+
+// ArmFaultPlan arms sites (defaulting to FaultPlanSites) from the
+// fuzzer's seed and records the armed plan into the returned snapshot
+// template so schedule files carry it. Callers must
+// faultinject.DisarmAll when the run ends.
+func ArmFaultPlan(f *Fuzzer, sites map[string]faultinject.Config) (map[string]faultinject.Config, error) {
+	if sites == nil {
+		sites = FaultPlanSites(f.cfg)
+	}
+	plan := faultinject.Plan{Seed: f.cfg.Seed, Sites: sites}
+	if err := plan.Apply(); err != nil {
+		return nil, err
+	}
+	return sites, nil
+}

@@ -1,0 +1,350 @@
+// Package schedfuzz is Concord's seeded schedule-fuzzing engine: the
+// correctness-tooling counterpart of the tuning story. The paper's
+// pitch is that a privileged process can attach policies at lock hook
+// points to *tune* concurrency; "Concurrency Testing in the Linux
+// Kernel via eBPF" shows the same mechanism can *test* it — a policy
+// that injects bounded delays and forced parks at the hook points
+// steers execution into rare interleavings, and a recorded decision
+// sequence replays the offending schedule deterministically.
+//
+// The engine has three moving parts:
+//
+//   - A Fuzzer adjudicates named decision points. In generate mode the
+//     decision for the i-th firing of site S is a pure function of
+//     (seed, S, i) — a splitmix64 draw, the same stream discipline the
+//     faultinject Plan machinery uses — so the decision *sequence* per
+//     site is identical across runs with the same seed regardless of
+//     goroutine interleaving of other sites. In replay mode decisions
+//     come from a recorded Schedule instead.
+//   - A Schedule is the compact log of every non-trivial decision the
+//     fuzzer made (schema concord-schedfuzz/1), written canonically so
+//     the same decision set always serializes byte-identically. A
+//     failing run's schedule file plus the armed faultinject plan is a
+//     complete reproduction recipe.
+//   - A Harness (harness.go) wraps fuzz targets — the locks/maps
+//     torture shapes and the chaos harness — detects failures
+//     (invariant violations, target errors, deadline trips), and emits
+//     the schedule file and a flight-recorder bundle on failure.
+//
+// Decision-point taxonomy (see DESIGN.md §9): the lock hook plane
+// (lock.acquire, lock.contended, lock.acquired, lock.release,
+// lock.schedule_waiter — installed as a hook table through the same
+// livepatch slot real policies use), the nine faultinject sites (armed
+// as a deterministic Plan derived from the run seed), and free
+// target-defined points (Point/Choose) for workload-level choices.
+package schedfuzz
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"concord/internal/schedfuzz/schedstats"
+)
+
+// ActionKind enumerates what a decision point may do.
+type ActionKind uint8
+
+const (
+	// ActNone: proceed untouched (not recorded).
+	ActNone ActionKind = iota
+	// ActDelay: stall the caller for Action.Delay.
+	ActDelay
+	// ActPark: force the caller off-CPU — WaitParkNow at a
+	// schedule_waiter hook, a MaxDelay stall at a free point.
+	ActPark
+	// ActChoice: a bounded-integer schedule choice (Choose).
+	ActChoice
+)
+
+// String names the action kind as recorded in schedule files.
+func (k ActionKind) String() string {
+	switch k {
+	case ActDelay:
+		return "delay"
+	case ActPark:
+		return "park"
+	case ActChoice:
+		return "choice"
+	default:
+		return "none"
+	}
+}
+
+func actionKindFromString(s string) ActionKind {
+	switch s {
+	case "delay":
+		return ActDelay
+	case "park":
+		return ActPark
+	case "choice":
+		return ActChoice
+	default:
+		return ActNone
+	}
+}
+
+// Action is one adjudicated decision.
+type Action struct {
+	Kind   ActionKind
+	Delay  time.Duration // ActDelay
+	Choice int           // ActChoice
+}
+
+// Config parameterizes a Fuzzer.
+type Config struct {
+	// Seed drives every decision stream. The run is reproducible from
+	// this one integer (plus the strategy parameters, which are
+	// recorded in the schedule file).
+	Seed uint64
+	// Strategy picks the perturbation policy: "random" (default),
+	// "pct" (priority-based, PCT-style), or "targeted" (site-biased).
+	Strategy string
+	// MaxDelay bounds injected delays (default 200µs). Park actions at
+	// free decision points stall for MaxDelay.
+	MaxDelay time.Duration
+	// DelayProb is the per-decision probability of an injected delay
+	// (default 0.05).
+	DelayProb float64
+	// ParkProb is the per-decision probability of a forced park at
+	// park-capable points (default 0.02).
+	ParkProb float64
+	// SiteBias multiplies DelayProb/ParkProb per site ("targeted"
+	// strategy). Sites absent from the map keep multiplier 1.
+	SiteBias map[string]float64
+	// PCTLevels is the number of task priority levels for the "pct"
+	// strategy (default 8): tasks hashed to level 0 are deprioritized
+	// at every decision point, and periodic change points reshuffle
+	// which tasks those are.
+	PCTLevels int
+	// PCTChangeEvery is the per-site decision period between PCT
+	// priority change points (default 64).
+	PCTChangeEvery int
+}
+
+func (c *Config) defaults() {
+	if c.Strategy == "" {
+		c.Strategy = "random"
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.DelayProb <= 0 {
+		c.DelayProb = 0.05
+	}
+	if c.ParkProb <= 0 {
+		c.ParkProb = 0.02
+	}
+	if c.PCTLevels <= 0 {
+		c.PCTLevels = 8
+	}
+	if c.PCTChangeEvery <= 0 {
+		c.PCTChangeEvery = 64
+	}
+}
+
+// siteState tracks one decision site: the firing index allocator and
+// the recorded non-trivial decisions.
+type siteState struct {
+	next atomic.Uint64
+
+	mu       sync.Mutex
+	recorded map[uint64]Action
+}
+
+// Fuzzer adjudicates decision points. Safe for concurrent use.
+type Fuzzer struct {
+	cfg      Config
+	strategy strategy
+
+	// replay, when non-nil, serves decisions from a recorded schedule
+	// instead of the strategy.
+	replay map[string]map[uint64]Action
+
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+// New returns a generating Fuzzer.
+func New(cfg Config) *Fuzzer {
+	cfg.defaults()
+	return &Fuzzer{
+		cfg:      cfg,
+		strategy: strategyFor(cfg),
+		sites:    make(map[string]*siteState),
+	}
+}
+
+// NewReplay returns a Fuzzer that re-executes the exact decision
+// sequence recorded in s: the i-th firing of site S performs the
+// logged action for (S, i), and anything beyond the log proceeds
+// untouched. Decisions executed during replay are recorded again, so a
+// replayed run can be serialized and diffed against the original.
+func NewReplay(s *Schedule) *Fuzzer {
+	cfg := s.config()
+	cfg.defaults()
+	f := &Fuzzer{
+		cfg:    cfg,
+		replay: s.decisionIndex(),
+		sites:  make(map[string]*siteState),
+	}
+	f.strategy = strategyFor(cfg)
+	return f
+}
+
+// Replaying reports whether this fuzzer serves a recorded schedule.
+func (f *Fuzzer) Replaying() bool { return f.replay != nil }
+
+// Seed returns the run seed.
+func (f *Fuzzer) Seed() uint64 { return f.cfg.Seed }
+
+// Config returns the effective (defaulted) configuration.
+func (f *Fuzzer) Config() Config { return f.cfg }
+
+func (f *Fuzzer) site(name string) *siteState {
+	f.mu.Lock()
+	st, ok := f.sites[name]
+	if !ok {
+		st = &siteState{recorded: make(map[uint64]Action)}
+		f.sites[name] = st
+	}
+	f.mu.Unlock()
+	return st
+}
+
+// record remembers a non-trivial decision for the schedule log.
+func (st *siteState) record(idx uint64, a Action) {
+	st.mu.Lock()
+	st.recorded[idx] = a
+	st.mu.Unlock()
+}
+
+// At adjudicates the next firing of site for an anonymous task.
+func (f *Fuzzer) At(site string) Action { return f.AtTask(site, 0) }
+
+// AtTask adjudicates the next firing of site on behalf of task id
+// (hook adapters pass Event.Task.ID(); the "pct" strategy keys
+// priorities off it). The returned action is NOT applied; callers
+// apply it (see Apply, or the hook adapters in hooks.go).
+func (f *Fuzzer) AtTask(site string, taskID int64) Action {
+	st := f.site(site)
+	idx := st.next.Add(1) - 1
+	schedstats.AddDecision()
+
+	var a Action
+	if f.replay != nil {
+		if rec, ok := f.replay[site]; ok {
+			a = rec[idx] // zero value = ActNone
+		}
+		if a.Kind != ActNone {
+			schedstats.AddReplayed()
+		}
+	} else {
+		a = f.strategy.decide(site, idx, taskID)
+	}
+	if a.Kind != ActNone {
+		st.record(idx, a)
+	}
+	return a
+}
+
+// Choose draws a schedule choice in [0, n) at site. Choices are always
+// recorded — they are load-bearing for replay (a target's control flow
+// follows them), unlike delays which only perturb timing.
+func (f *Fuzzer) Choose(site string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	st := f.site(site)
+	idx := st.next.Add(1) - 1
+	schedstats.AddDecision()
+	schedstats.AddChoice()
+
+	var c int
+	if f.replay != nil {
+		if rec, ok := f.replay[site]; ok {
+			if a, ok := rec[idx]; ok && a.Kind == ActChoice {
+				c = a.Choice % n
+				schedstats.AddReplayed()
+				st.record(idx, Action{Kind: ActChoice, Choice: c})
+				return c
+			}
+		}
+		// Past the log's horizon: deterministic fallback (0), so a
+		// replayed run never diverges on unrecorded choices.
+		st.record(idx, Action{Kind: ActChoice, Choice: 0})
+		return 0
+	}
+	c = int(draw(f.cfg.Seed, site, idx, 0) % uint64(n))
+	st.record(idx, Action{Kind: ActChoice, Choice: c})
+	return c
+}
+
+// Point adjudicates and immediately applies a free decision point:
+// delays sleep, parks stall for MaxDelay (a forced descheduling
+// window — free points have no parker to divert).
+func (f *Fuzzer) Point(site string) {
+	f.Apply(f.At(site))
+}
+
+// Apply executes a delay- or park-class action in the caller's
+// goroutine. Choice actions are inert here.
+func (f *Fuzzer) Apply(a Action) {
+	switch a.Kind {
+	case ActDelay:
+		schedstats.AddDelay()
+		time.Sleep(a.Delay)
+	case ActPark:
+		schedstats.AddForcedPark()
+		time.Sleep(f.cfg.MaxDelay)
+	}
+}
+
+// Decisions reports the total number of decision points adjudicated so
+// far (including trivial outcomes).
+func (f *Fuzzer) Decisions() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, st := range f.sites {
+		n += int64(st.next.Load())
+	}
+	return n
+}
+
+// --- deterministic draws ---
+
+// gamma is the splitmix64 increment (same constant faultinject uses).
+const gamma = 0x9e3779b97f4a7c15
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashName is FNV-1a over the site name (matches faultinject's
+// per-site seed derivation discipline).
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// draw returns the dim-th random word for the idx-th firing of site —
+// a pure function of its arguments, so decision i is independent of
+// the arrival order of decisions at other sites (and of other indices
+// at the same site).
+func draw(seed uint64, site string, idx, dim uint64) uint64 {
+	return mix(seed ^ hashName(site) + (idx*4+dim+1)*gamma)
+}
+
+// unit converts a draw to a float in [0,1).
+func unit(v uint64) float64 { return float64(v>>11) / (1 << 53) }

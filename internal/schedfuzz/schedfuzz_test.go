@@ -1,0 +1,305 @@
+package schedfuzz
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"concord/internal/faultinject"
+)
+
+// TestDrawPure pins the decision streams: draw is a pure function of
+// (seed, site, idx, dim), distinct across every argument, so per-site
+// sequences are interleaving-independent by construction.
+func TestDrawPure(t *testing.T) {
+	if draw(1, "a", 0, 0) != draw(1, "a", 0, 0) {
+		t.Fatal("draw not deterministic")
+	}
+	seen := make(map[uint64]string)
+	vary := map[string]uint64{
+		"seed": draw(2, "a", 0, 0),
+		"site": draw(1, "b", 0, 0),
+		"idx":  draw(1, "a", 1, 0),
+		"dim":  draw(1, "a", 0, 1),
+		"base": draw(1, "a", 0, 0),
+	}
+	for name, v := range vary {
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("draw collision between %s and %s", name, prev)
+		}
+		seen[v] = name
+	}
+}
+
+// TestPerSiteStreamsInterleavingIndependent drives two fuzzers with the
+// same seed through the same decision points in different global orders
+// and expects identical per-site action sequences.
+func TestPerSiteStreamsInterleavingIndependent(t *testing.T) {
+	cfg := Config{Seed: 42, DelayProb: 0.4, ParkProb: 0.2}
+	f1 := New(cfg)
+	f2 := New(cfg)
+
+	var s1, s2 []Action
+	// f1: strict alternation; f2: all of site A first, then all of B.
+	for i := 0; i < 64; i++ {
+		s1 = append(s1, f1.At("siteA"))
+		f1.At("siteB")
+	}
+	for i := 0; i < 64; i++ {
+		f2.At("siteB")
+	}
+	for i := 0; i < 64; i++ {
+		s2 = append(s2, f2.At("siteA"))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("siteA decision %d diverged: %+v vs %+v", i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestChooseDeterministicAndBounded pins Choose: deterministic per
+// (seed, site, idx), always in [0, n), and n<=1 short-circuits to 0.
+func TestChooseDeterministicAndBounded(t *testing.T) {
+	f1 := New(Config{Seed: 7})
+	f2 := New(Config{Seed: 7})
+	for i := 0; i < 100; i++ {
+		c1 := f1.Choose("coin", 6)
+		c2 := f2.Choose("coin", 6)
+		if c1 != c2 {
+			t.Fatalf("choice %d diverged: %d vs %d", i, c1, c2)
+		}
+		if c1 < 0 || c1 >= 6 {
+			t.Fatalf("choice %d out of range: %d", i, c1)
+		}
+	}
+	if got := f1.Choose("coin", 1); got != 0 {
+		t.Fatalf("Choose(n=1) = %d, want 0", got)
+	}
+	if got := f1.Choose("coin", 0); got != 0 {
+		t.Fatalf("Choose(n=0) = %d, want 0", got)
+	}
+}
+
+// TestReplayServesRecordedDecisions round-trips a decision log through
+// a schedule and replays it: every recorded action is served back at
+// its index, past-horizon choices fall back to 0, and the replayed
+// fuzzer's re-recorded log serializes byte-identically.
+func TestReplayServesRecordedDecisions(t *testing.T) {
+	f := New(Config{Seed: 99, DelayProb: 0.5, ParkProb: 0.2})
+	var actions []Action
+	var choices []int
+	for i := 0; i < 200; i++ {
+		actions = append(actions, f.At("hook"))
+		choices = append(choices, f.Choose("coin", 4))
+	}
+	s := f.Snapshot()
+
+	r := NewReplay(s)
+	if !r.Replaying() {
+		t.Fatal("NewReplay fuzzer not in replay mode")
+	}
+	for i := 0; i < 200; i++ {
+		if a := r.At("hook"); a != actions[i] {
+			t.Fatalf("replayed action %d diverged: %+v vs %+v", i, a, actions[i])
+		}
+		if c := r.Choose("coin", 4); c != choices[i] {
+			t.Fatalf("replayed choice %d diverged: %d vs %d", i, c, choices[i])
+		}
+	}
+	// Past the horizon: untouched / deterministic zero.
+	if a := r.At("hook"); a.Kind != ActNone {
+		t.Fatalf("past-horizon action = %+v, want none", a)
+	}
+	if c := r.Choose("coin", 4); c != 0 {
+		t.Fatalf("past-horizon choice = %d, want 0", c)
+	}
+
+	// A replayed log (same horizon) diffs byte-identically. The replay
+	// above ran one extra firing per site, which records one extra
+	// trivial choice — so compare against a fresh exact-horizon replay.
+	r2 := NewReplay(s)
+	for i := 0; i < 200; i++ {
+		r2.At("hook")
+		r2.Choose("coin", 4)
+	}
+	b1, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Snapshot().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("replayed log not byte-identical:\n--- original\n%s\n--- replay\n%s", b1, b2)
+	}
+}
+
+// TestScheduleFileRoundTrip pins the on-disk format: write, read back,
+// re-marshal, byte-compare; and rejects foreign schemas.
+func TestScheduleFileRoundTrip(t *testing.T) {
+	f := New(Config{Seed: 5, DelayProb: 0.6, ParkProb: 0.3})
+	for i := 0; i < 50; i++ {
+		f.At("x")
+		f.Choose("y", 3)
+	}
+	s := f.Snapshot()
+	s.Target = "selftest"
+	s.Params = map[string]int64{"ops": 50}
+	s.Failure = &Failure{Kind: "invariant", Msg: "boom", Iter: 2}
+	s.SetPlan(5, map[string]faultinject.Config{
+		"policy.latency": {Probability: 0.25, Delay: time.Millisecond},
+	})
+
+	path := t.TempDir() + "/s.json"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := s.Marshal()
+	b2, _ := got.Marshal()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+	if got.Failure == nil || got.Failure.Kind != "invariant" || got.Failure.Iter != 2 {
+		t.Fatalf("failure lost in round trip: %+v", got.Failure)
+	}
+
+	if _, err := UnmarshalSchedule([]byte(`{"schema":"bogus/9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+// TestSetPlanPinsSiteSeeds verifies the reproduction recipe: recorded
+// plan sites carry the exact per-site seed the Plan machinery derives,
+// and FaultPlan rebuilds an equivalent arm set.
+func TestSetPlanPinsSiteSeeds(t *testing.T) {
+	s := &Schedule{Schema: ScheduleSchema, Seed: 77}
+	s.SetPlan(77, map[string]faultinject.Config{
+		"policy.latency":   {Probability: 0.1, Delay: time.Millisecond},
+		"locks.park_delay": {Probability: 0.2, Seed: 12345}, // explicit seed wins
+	})
+	if got, want := s.Plan["policy.latency"].Seed, faultinject.SiteSeed(77, "policy.latency"); got != want {
+		t.Fatalf("policy.latency seed %d, want derived %d", got, want)
+	}
+	if got := s.Plan["locks.park_delay"].Seed; got != 12345 {
+		t.Fatalf("explicit seed overridden: %d", got)
+	}
+	p := s.FaultPlan()
+	if p.Seed != 77 {
+		t.Fatalf("FaultPlan seed %d", p.Seed)
+	}
+	if c := p.Sites["policy.latency"]; c.Probability != 0.1 || c.Delay != time.Millisecond ||
+		c.Seed != faultinject.SiteSeed(77, "policy.latency") {
+		t.Fatalf("FaultPlan site mangled: %+v", c)
+	}
+}
+
+// TestStrategies exercises the three perturbation policies for
+// determinism and their distinguishing behaviors.
+func TestStrategies(t *testing.T) {
+	// random: deterministic, fires both classes at high probabilities.
+	cfg := Config{Seed: 3, Strategy: "random", DelayProb: 0.4, ParkProb: 0.3}
+	cfg.defaults()
+	r := strategyFor(cfg)
+	var parks, delays int
+	for i := uint64(0); i < 400; i++ {
+		a := r.decide("s", i, 0)
+		if a != r.decide("s", i, 0) {
+			t.Fatal("random strategy not deterministic")
+		}
+		switch a.Kind {
+		case ActPark:
+			parks++
+		case ActDelay:
+			delays++
+			if a.Delay <= 0 || a.Delay > cfg.MaxDelay && cfg.MaxDelay > 0 {
+				t.Fatalf("delay out of bounds: %v", a.Delay)
+			}
+		}
+	}
+	if parks == 0 || delays == 0 {
+		t.Fatalf("random strategy fired parks=%d delays=%d, want both > 0", parks, delays)
+	}
+
+	// pct: level is per-task — some tasks are stalled at every point,
+	// others never; and the epoch change point reshuffles levels.
+	pcfg := Config{Seed: 11, Strategy: "pct", PCTLevels: 4, PCTChangeEvery: 8}
+	pcfg.defaults()
+	p := strategyFor(pcfg)
+	perTask := make(map[int64]ActionKind)
+	for task := int64(0); task < 32; task++ {
+		perTask[task] = p.decide("s", 0, task).Kind
+	}
+	var stalled, untouched bool
+	for _, k := range perTask {
+		if k == ActPark {
+			stalled = true
+		}
+		if k == ActNone {
+			untouched = true
+		}
+	}
+	if !stalled || !untouched {
+		t.Fatalf("pct levels degenerate: stalled=%v untouched=%v", stalled, untouched)
+	}
+	changed := false
+	for task := int64(0); task < 32; task++ {
+		if p.decide("s", uint64(pcfg.PCTChangeEvery), task).Kind != perTask[task] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("pct change point did not reshuffle any task level")
+	}
+
+	// targeted: zero bias silences a site, high bias perturbs more than
+	// the baseline.
+	tcfg := Config{Seed: 9, Strategy: "targeted", DelayProb: 0.05, ParkProb: 0.02,
+		SiteBias: map[string]float64{"cold": 0, "hot": 10}}
+	tcfg.defaults()
+	ts := strategyFor(tcfg)
+	var cold, hot, base int
+	for i := uint64(0); i < 500; i++ {
+		if ts.decide("cold", i, 0).Kind != ActNone {
+			cold++
+		}
+		if ts.decide("hot", i, 0).Kind != ActNone {
+			hot++
+		}
+		if ts.decide("unbiased", i, 0).Kind != ActNone {
+			base++
+		}
+	}
+	if cold != 0 {
+		t.Fatalf("zero-bias site perturbed %d times", cold)
+	}
+	if hot <= base {
+		t.Fatalf("bias 10 site perturbed %d times vs baseline %d", hot, base)
+	}
+}
+
+// TestActionKindStrings pins the schedule-file action vocabulary.
+func TestActionKindStrings(t *testing.T) {
+	for _, k := range []ActionKind{ActNone, ActDelay, ActPark, ActChoice} {
+		if actionKindFromString(k.String()) != k {
+			t.Fatalf("action kind %d does not round-trip through %q", k, k.String())
+		}
+	}
+}
+
+// TestFuzzerConfigDefaults pins the documented defaults.
+func TestFuzzerConfigDefaults(t *testing.T) {
+	f := New(Config{Seed: 1})
+	cfg := f.Config()
+	if cfg.Strategy != "random" || cfg.MaxDelay != 200*time.Microsecond ||
+		cfg.DelayProb != 0.05 || cfg.ParkProb != 0.02 ||
+		cfg.PCTLevels != 8 || cfg.PCTChangeEvery != 64 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}

@@ -1,0 +1,69 @@
+// Package schedstats holds the process-wide schedule-fuzzer counters.
+//
+// It is a leaf (imports nothing but the standard library) so the
+// telemetry layer can export the counters as concord_schedfuzz_*_total
+// without importing the fuzzer itself — internal/schedfuzz sits above
+// internal/core in the dependency graph (it drives frameworks and the
+// chaos harness), while internal/obs sits below it.
+package schedstats
+
+import "sync/atomic"
+
+var (
+	decisions   atomic.Int64
+	forcedParks atomic.Int64
+	delays      atomic.Int64
+	choices     atomic.Int64
+	replayed    atomic.Int64
+	failures    atomic.Int64
+)
+
+// Stats is a snapshot of the fuzzer counters.
+type Stats struct {
+	// Decisions counts every decision point the fuzzer adjudicated
+	// (including "do nothing" outcomes).
+	Decisions int64
+	// ForcedParks counts park actions executed (WaitParkNow returned
+	// from a schedule_waiter hook, or a park-class stall at a free
+	// decision point).
+	ForcedParks int64
+	// Delays counts bounded delay actions executed.
+	Delays int64
+	// Choices counts bounded-integer schedule choices drawn.
+	Choices int64
+	// Replayed counts decisions served from a recorded schedule.
+	Replayed int64
+	// Failures counts fuzzer-detected failures (invariant violations,
+	// deadline trips, target errors).
+	Failures int64
+}
+
+// Snapshot returns the current counters.
+func Snapshot() Stats {
+	return Stats{
+		Decisions:   decisions.Load(),
+		ForcedParks: forcedParks.Load(),
+		Delays:      delays.Load(),
+		Choices:     choices.Load(),
+		Replayed:    replayed.Load(),
+		Failures:    failures.Load(),
+	}
+}
+
+// AddDecision records one adjudicated decision point.
+func AddDecision() { decisions.Add(1) }
+
+// AddForcedPark records one executed forced park.
+func AddForcedPark() { forcedParks.Add(1) }
+
+// AddDelay records one executed injected delay.
+func AddDelay() { delays.Add(1) }
+
+// AddChoice records one drawn schedule choice.
+func AddChoice() { choices.Add(1) }
+
+// AddReplayed records one decision served from a recorded schedule.
+func AddReplayed() { replayed.Add(1) }
+
+// AddFailure records one fuzzer-detected failure.
+func AddFailure() { failures.Add(1) }

@@ -1,0 +1,29 @@
+package schedstats
+
+import "testing"
+
+// TestCountersAdvance pins each Add* to its Stats field (process-global
+// counters, so assert deltas, not absolutes).
+func TestCountersAdvance(t *testing.T) {
+	base := Snapshot()
+	AddDecision()
+	AddForcedPark()
+	AddDelay()
+	AddChoice()
+	AddReplayed()
+	AddFailure()
+	now := Snapshot()
+	deltas := map[string]int64{
+		"decisions":    now.Decisions - base.Decisions,
+		"forced_parks": now.ForcedParks - base.ForcedParks,
+		"delays":       now.Delays - base.Delays,
+		"choices":      now.Choices - base.Choices,
+		"replayed":     now.Replayed - base.Replayed,
+		"failures":     now.Failures - base.Failures,
+	}
+	for name, d := range deltas {
+		if d < 1 {
+			t.Errorf("%s advanced by %d, want >= 1", name, d)
+		}
+	}
+}

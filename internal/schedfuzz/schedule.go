@@ -1,0 +1,255 @@
+package schedfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"concord/internal/faultinject"
+)
+
+// ScheduleSchema identifies the on-disk schedule file format.
+const ScheduleSchema = "concord-schedfuzz/1"
+
+// DecisionRec is one recorded decision in a schedule file: the i-th
+// firing of its site performed action A. Only non-trivial decisions
+// are recorded (the log is sparse); indices absent from the log mean
+// "proceed untouched".
+type DecisionRec struct {
+	I uint64 `json:"i"`
+	A string `json:"a"`
+	// NS is the delay in nanoseconds (delay actions).
+	NS int64 `json:"ns,omitempty"`
+	// C is the drawn choice (choice actions).
+	C int `json:"c,omitempty"`
+}
+
+// PlanSite is one armed faultinject site in a schedule file. It
+// mirrors faultinject.Config with the derived per-site seed pinned, so
+// replay re-arms streams identical to the recorded run's.
+type PlanSite struct {
+	Probability float64 `json:"probability,omitempty"`
+	MaxFires    int64   `json:"max_fires,omitempty"`
+	DelayNS     int64   `json:"delay_ns,omitempty"`
+	Seed        uint64  `json:"seed"`
+}
+
+// Failure describes why a fuzzed run failed.
+type Failure struct {
+	// Kind: "invariant" (target check failed), "error" (target
+	// returned an operational error), or "deadline" (the run tripped
+	// its deadline and was abandoned).
+	Kind string `json:"kind"`
+	Msg  string `json:"msg"`
+	// Iter is the harness iteration (0-based) that failed.
+	Iter int `json:"iter"`
+}
+
+// Schedule is the compact, replayable log of one fuzzed run: the seed
+// and strategy parameters that generated it, the faultinject plan that
+// was armed, and every non-trivial decision the fuzzer made, keyed by
+// decision site and per-site firing index.
+//
+// Serialization is canonical: map keys marshal sorted (encoding/json
+// guarantees this) and decision lists are sorted by index, so the same
+// decision set always produces byte-identical files — the property the
+// determinism suite pins.
+type Schedule struct {
+	Schema   string `json:"schema"`
+	Seed     uint64 `json:"seed"`
+	Strategy string `json:"strategy"`
+	// Target names the fuzz target; Params its integer parameters
+	// (workers, ops, ...) so replay can rebuild the identical run.
+	Target string           `json:"target,omitempty"`
+	Params map[string]int64 `json:"params,omitempty"`
+
+	// Strategy knobs, recorded for provenance (replay takes decisions
+	// from the log, not from re-drawing).
+	MaxDelayNS     int64              `json:"max_delay_ns,omitempty"`
+	DelayProbPM    int64              `json:"delay_prob_pm,omitempty"` // per-mille
+	ParkProbPM     int64              `json:"park_prob_pm,omitempty"`  // per-mille
+	PCTLevels      int                `json:"pct_levels,omitempty"`
+	PCTChangeEvery int                `json:"pct_change_every,omitempty"`
+	SiteBias       map[string]float64 `json:"site_bias,omitempty"`
+
+	Plan      map[string]PlanSite      `json:"plan,omitempty"`
+	Decisions map[string][]DecisionRec `json:"decisions"`
+
+	Failure *Failure `json:"failure,omitempty"`
+}
+
+// Snapshot serializes the fuzzer's decision log into a Schedule.
+func (f *Fuzzer) Snapshot() *Schedule {
+	cfg := f.cfg
+	s := &Schedule{
+		Schema:    ScheduleSchema,
+		Seed:      cfg.Seed,
+		Strategy:  cfg.Strategy,
+		Decisions: make(map[string][]DecisionRec),
+
+		MaxDelayNS:  int64(cfg.MaxDelay),
+		DelayProbPM: int64(cfg.DelayProb * 1000),
+		ParkProbPM:  int64(cfg.ParkProb * 1000),
+	}
+	if cfg.Strategy == "pct" {
+		s.PCTLevels = cfg.PCTLevels
+		s.PCTChangeEvery = cfg.PCTChangeEvery
+	}
+	if len(cfg.SiteBias) > 0 {
+		s.SiteBias = make(map[string]float64, len(cfg.SiteBias))
+		for k, v := range cfg.SiteBias {
+			s.SiteBias[k] = v
+		}
+	}
+
+	f.mu.Lock()
+	names := make([]string, 0, len(f.sites))
+	for name := range f.sites {
+		names = append(names, name)
+	}
+	states := make(map[string]*siteState, len(f.sites))
+	for name, st := range f.sites {
+		states[name] = st
+	}
+	f.mu.Unlock()
+
+	sort.Strings(names)
+	for _, name := range names {
+		st := states[name]
+		st.mu.Lock()
+		recs := make([]DecisionRec, 0, len(st.recorded))
+		for idx, a := range st.recorded {
+			rec := DecisionRec{I: idx, A: a.Kind.String()}
+			switch a.Kind {
+			case ActDelay:
+				rec.NS = int64(a.Delay)
+			case ActChoice:
+				rec.C = a.Choice
+			}
+			recs = append(recs, rec)
+		}
+		st.mu.Unlock()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].I < recs[j].I })
+		if len(recs) > 0 {
+			s.Decisions[name] = recs
+		}
+	}
+	return s
+}
+
+// config reconstructs the fuzzer configuration a schedule was
+// generated under (used by NewReplay, mainly for MaxDelay so park
+// stalls replay with the recorded magnitude).
+func (s *Schedule) config() Config {
+	return Config{
+		Seed:           s.Seed,
+		Strategy:       s.Strategy,
+		MaxDelay:       time.Duration(s.MaxDelayNS),
+		DelayProb:      float64(s.DelayProbPM) / 1000,
+		ParkProb:       float64(s.ParkProbPM) / 1000,
+		SiteBias:       s.SiteBias,
+		PCTLevels:      s.PCTLevels,
+		PCTChangeEvery: s.PCTChangeEvery,
+	}
+}
+
+// decisionIndex builds the per-site lookup replay mode serves from.
+func (s *Schedule) decisionIndex() map[string]map[uint64]Action {
+	out := make(map[string]map[uint64]Action, len(s.Decisions))
+	for site, recs := range s.Decisions {
+		m := make(map[uint64]Action, len(recs))
+		for _, r := range recs {
+			a := Action{Kind: actionKindFromString(r.A)}
+			switch a.Kind {
+			case ActDelay:
+				a.Delay = time.Duration(r.NS)
+			case ActChoice:
+				a.Choice = r.C
+			}
+			m[r.I] = a
+		}
+		out[site] = m
+	}
+	return out
+}
+
+// FaultPlan converts the schedule's recorded plan back into a
+// faultinject.Plan with the pinned per-site seeds.
+func (s *Schedule) FaultPlan() faultinject.Plan {
+	p := faultinject.Plan{Seed: s.Seed, Sites: make(map[string]faultinject.Config, len(s.Plan))}
+	for name, ps := range s.Plan {
+		p.Sites[name] = faultinject.Config{
+			Probability: ps.Probability,
+			MaxFires:    ps.MaxFires,
+			Delay:       time.Duration(ps.DelayNS),
+			Seed:        ps.Seed,
+		}
+	}
+	return p
+}
+
+// SetPlan records an armed faultinject plan into the schedule, pinning
+// the effective per-site seeds.
+func (s *Schedule) SetPlan(seed uint64, sites map[string]faultinject.Config) {
+	if len(sites) == 0 {
+		return
+	}
+	s.Plan = make(map[string]PlanSite, len(sites))
+	for name, cfg := range sites {
+		siteSeed := cfg.Seed
+		if siteSeed == 0 {
+			siteSeed = faultinject.SiteSeed(seed, name)
+		}
+		s.Plan[name] = PlanSite{
+			Probability: cfg.Probability,
+			MaxFires:    cfg.MaxFires,
+			DelayNS:     int64(cfg.Delay),
+			Seed:        siteSeed,
+		}
+	}
+}
+
+// Marshal renders the schedule canonically.
+func (s *Schedule) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the schedule atomically (tmp + rename).
+func (s *Schedule) WriteFile(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadSchedule loads and validates a schedule file.
+func ReadSchedule(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalSchedule(data)
+}
+
+// UnmarshalSchedule parses and validates schedule bytes.
+func UnmarshalSchedule(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("schedfuzz: schedule: %w", err)
+	}
+	if s.Schema != ScheduleSchema {
+		return nil, fmt.Errorf("schedfuzz: schedule schema %q, want %q", s.Schema, ScheduleSchema)
+	}
+	return &s, nil
+}

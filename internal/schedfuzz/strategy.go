@@ -1,0 +1,108 @@
+package schedfuzz
+
+import "time"
+
+// strategy turns (site, index, task) into an action. All strategies
+// are pure functions of the run seed and their arguments: the decision
+// sequence per site is deterministic given the same firing count.
+type strategy interface {
+	// name is the identifier recorded in schedule files.
+	name() string
+	// decide adjudicates the idx-th firing of site by task taskID.
+	decide(site string, idx uint64, taskID int64) Action
+}
+
+func strategyFor(cfg Config) strategy {
+	switch cfg.Strategy {
+	case "pct":
+		return &pctStrategy{cfg: cfg}
+	case "targeted":
+		return &targetedStrategy{cfg: cfg}
+	default:
+		return &randomStrategy{cfg: cfg}
+	}
+}
+
+// delayFor scales a draw into a delay in (0, MaxDelay].
+func delayFor(cfg Config, v uint64) time.Duration {
+	d := time.Duration(v % uint64(cfg.MaxDelay))
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// --- random: independent per-decision perturbation ---
+
+// randomStrategy fires a delay with DelayProb and a forced park with
+// ParkProb at every decision point, both drawn from the per-site
+// splitmix64 streams — the pure-random baseline.
+type randomStrategy struct{ cfg Config }
+
+func (s *randomStrategy) name() string { return "random" }
+
+func (s *randomStrategy) decide(site string, idx uint64, _ int64) Action {
+	return biasedDecide(s.cfg, site, idx, 1)
+}
+
+// biasedDecide is the shared random core: park with ParkProb*bias,
+// else delay with DelayProb*bias.
+func biasedDecide(cfg Config, site string, idx uint64, bias float64) Action {
+	if bias <= 0 {
+		return Action{}
+	}
+	u := unit(draw(cfg.Seed, site, idx, 1))
+	if u < cfg.ParkProb*bias {
+		return Action{Kind: ActPark}
+	}
+	if u < (cfg.ParkProb+cfg.DelayProb)*bias {
+		return Action{Kind: ActDelay, Delay: delayFor(cfg, draw(cfg.Seed, site, idx, 2))}
+	}
+	return Action{}
+}
+
+// --- pct: priority-based perturbation ---
+
+// pctStrategy is a PCT-style perturbation (Burckhardt et al.): every
+// task is hashed to one of PCTLevels priority levels, the lowest level
+// is stalled at every decision point it reaches, and every
+// PCTChangeEvery decisions per site the hash is re-salted — the
+// "priority change point" that lets the d-th ordering constraint
+// surface. Unlike true PCT there is no central scheduler to pause
+// tasks indefinitely; deprioritization means a park-length stall.
+type pctStrategy struct{ cfg Config }
+
+func (s *pctStrategy) name() string { return "pct" }
+
+func (s *pctStrategy) decide(site string, idx uint64, taskID int64) Action {
+	epoch := idx / uint64(s.cfg.PCTChangeEvery)
+	level := mix(s.cfg.Seed^uint64(taskID)*gamma+epoch*2+1) % uint64(s.cfg.PCTLevels)
+	if level == 0 {
+		// Deprioritized task: stall hard (park-class).
+		return Action{Kind: ActPark}
+	}
+	if level == 1 {
+		// Next level up: a bounded delay keeps orderings diverse
+		// without serializing the run.
+		return Action{Kind: ActDelay, Delay: delayFor(s.cfg, draw(s.cfg.Seed, site, idx, 2))}
+	}
+	return Action{}
+}
+
+// --- targeted: site-biased random ---
+
+// targetedStrategy is the random strategy with per-site probability
+// multipliers, for steering the fuzz budget at suspected-fragile hook
+// points (e.g. bias lock.release and the park handoff when hunting
+// lost-wakeup shapes).
+type targetedStrategy struct{ cfg Config }
+
+func (s *targetedStrategy) name() string { return "targeted" }
+
+func (s *targetedStrategy) decide(site string, idx uint64, _ int64) Action {
+	bias := 1.0
+	if b, ok := s.cfg.SiteBias[site]; ok {
+		bias = b
+	}
+	return biasedDecide(s.cfg, site, idx, bias)
+}

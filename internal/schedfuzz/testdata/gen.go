@@ -1,0 +1,41 @@
+//go:build ignore
+
+// gen regenerates tombstone_wedge.schedule.json: the canned schedule
+// the tombstone regression test replays. It records one single-worker
+// map-churn run on a capacity-8 table (max_entries=4) — the exact
+// shape that wedged the pre-fix PR 5 hash map into permanent
+// ErrMapFull at near-zero occupancy. Run from the repo root:
+//
+//	go run ./internal/schedfuzz/testdata/gen.go
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"concord/internal/schedfuzz"
+)
+
+func main() {
+	h, err := schedfuzz.NewHarness(schedfuzz.HarnessConfig{
+		Seed:        20210601, // HotOS'21 vintage; any fixed seed works
+		Target:      "map-churn",
+		Params:      map[string]int64{"workers": 1, "entries": 4, "keys": 300, "long_lived": 2},
+		ScheduleOut: "internal/schedfuzz/testdata/tombstone_wedge.schedule.json",
+		Out:         os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := h.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if res.Failed {
+		fmt.Fprintln(os.Stderr, "unexpected failure on fixed code:", res.Err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", res.SchedulePath)
+}

@@ -1,0 +1,49 @@
+package schedfuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTombstoneWedgeRegression replays the canned map-churn schedule in
+// testdata (regenerate with `go run ./internal/schedfuzz/testdata/gen.go`):
+// a single worker churning 300 distinct keys through a capacity-8 hash
+// table (max_entries=4), with delete timing driven by recorded schedule
+// choices — the exact shape that wedged the PR 5 hash map into
+// permanent ErrMapFull at near-zero occupancy once every empty slot had
+// been spent on a tombstone. The target's wedge invariants (inline
+// ErrMapFull check at workers==1 plus the sequential post-churn probe)
+// catch that bug class; on the fixed map the replay must run clean, and
+// deterministically: the re-recorded log byte-matches the canned file.
+func TestTombstoneWedgeRegression(t *testing.T) {
+	s, err := ReadSchedule("testdata/tombstone_wedge.schedule.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Target != "map-churn" {
+		t.Fatalf("canned schedule targets %q, want map-churn", s.Target)
+	}
+	if s.Params["workers"] != 1 || s.Params["entries"] != 4 {
+		t.Fatalf("canned schedule lost its shape: %+v", s.Params)
+	}
+
+	res, err := Replay(s, ReplayOptions{Out: &bytes.Buffer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("tombstone-exhaustion class regressed: %v", res.Err)
+	}
+
+	canned, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := res.Schedule.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canned, replayed) {
+		t.Fatal("replayed map-churn log diverged from the canned schedule")
+	}
+}

@@ -1,0 +1,47 @@
+package concord
+
+import "concord/internal/schedfuzz"
+
+// --- Schedule fuzzing & deterministic replay (DESIGN.md §9) ---
+//
+// The schedule fuzzer perturbs lock/hook interleavings from one run
+// seed and records every decision into a replayable schedule file; a
+// failing run is reproducible with SchedReplayFile. The full engine
+// (targets, strategies, hook installation) lives in
+// internal/schedfuzz; the facade re-exports the campaign surface.
+
+// SchedFuzzConfig parameterizes one fuzzing campaign.
+type SchedFuzzConfig = schedfuzz.HarnessConfig
+
+// SchedFuzzResult is the outcome of a campaign or a replay.
+type SchedFuzzResult = schedfuzz.Result
+
+// SchedFuzzHarness drives seeded fuzzing campaigns over registered
+// targets.
+type SchedFuzzHarness = schedfuzz.Harness
+
+// SchedSchedule is a recorded decision log (the schedule-file model).
+type SchedSchedule = schedfuzz.Schedule
+
+// SchedReplayOptions configures a schedule replay.
+type SchedReplayOptions = schedfuzz.ReplayOptions
+
+// NewSchedFuzzHarness validates the configuration and returns a
+// harness.
+func NewSchedFuzzHarness(cfg SchedFuzzConfig) (*SchedFuzzHarness, error) {
+	return schedfuzz.NewHarness(cfg)
+}
+
+// SchedReplayFile loads a schedule file and deterministically
+// re-executes its recorded decision sequence.
+func SchedReplayFile(path string, opts SchedReplayOptions) (*SchedFuzzResult, error) {
+	return schedfuzz.ReplayFile(path, opts)
+}
+
+// SchedFuzzTargets lists the registered fuzz targets.
+func SchedFuzzTargets() []string { return schedfuzz.TargetNames() }
+
+// ReadSchedSchedule loads and schema-checks a schedule file.
+func ReadSchedSchedule(path string) (*SchedSchedule, error) {
+	return schedfuzz.ReadSchedule(path)
+}
