@@ -102,3 +102,79 @@ func TestShippedPoliciesPassAdmission(t *testing.T) {
 		})
 	}
 }
+
+const sharedWriterA = `map shared hash(key = 8, value = 8, entries = 64);
+policy lock_acquired wa { shared[ctx.lock_id] = ctx.wait_ns; return 0; }
+`
+
+const sharedWriterB = `map shared hash(key = 8, value = 8, entries = 64);
+policy lock_contended wb { shared[ctx.lock_id] += 1; return 0; }
+`
+
+func TestAnalyzeInterference(t *testing.T) {
+	a := write(t, "wa.pol", sharedWriterA)
+	b := write(t, "wb.pol", sharedWriterB)
+
+	var out bytes.Buffer
+	if err := cmdAnalyze([]string{"-interference", a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// The conflict pair and its classification are printed.
+	for _, want := range []string{"wa.pol", "wb.pol", "map shared", "write-write"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// -admit turns the blocking conflict into a failure.
+	out.Reset()
+	err := cmdAnalyze([]string{"-interference", "-admit", a, b}, &out)
+	if err == nil || !strings.Contains(err.Error(), "blocking write-write") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// -json round-trips the pair list.
+	out.Reset()
+	if err := cmdAnalyze([]string{"-interference", "-json", a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var pairs []interferencePair
+	if err := json.Unmarshal(out.Bytes(), &pairs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(pairs) != 1 || len(pairs[0].Conflicts) != 1 || pairs[0].Conflicts[0].Map != "shared" {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+
+	// One file is a usage error.
+	if err := cmdAnalyze([]string{"-interference", a}, &out); err == nil {
+		t.Error("single file accepted with -interference")
+	}
+}
+
+// TestShippedPoliciesInterference: the only sharing across shipped
+// policies is the profile-waits → wait-gate worstwait feedback loop,
+// and it is read-write (benign); no shipped pair write-write conflicts.
+func TestShippedPoliciesInterference(t *testing.T) {
+	dir := "../../policies"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("policies dir: %v", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".pol") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	var out bytes.Buffer
+	if err := cmdAnalyze(append([]string{"-interference", "-admit"}, paths...), &out); err != nil {
+		t.Fatalf("shipped policies have blocking interference: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"profile-waits.pol", "wait-gate.pol", "map worstwait: read-write"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("expected shipped read-write pair in output (missing %q):\n%s", want, out.String())
+		}
+	}
+}

@@ -7,40 +7,62 @@
 //
 // Analyzers:
 //
-//	lockpair    lock/unlock pairing on all paths within a function
-//	faultsite   faultinject sites guarded by Enabled(), fired once per function
-//	helperdrift helper tables keyed by HelperID cover every enum member
+//	lockpair          lock/unlock pairing on all paths within a function
+//	lockorder         interprocedural lock ordering: potential deadlock cycles
+//	blockingunderlock channel ops, sleeps, parking, I/O while a lock is held
+//	faultsite         faultinject sites guarded by Enabled(), fired once per function
+//	helperdrift       helper tables keyed by HelperID cover every enum member
 //
-// Suppress a finding with `//vet:ignore [analyzer...]` on the offending
-// line or the line above it. Exit status is 1 when any diagnostic
-// survives, 2 on usage errors.
+// -json emits sorted machine-readable diagnostics for CI annotation;
+// -lockgraph BASE writes the global lock dependency graph to BASE.json
+// and BASE.dot (the artifact the CI vet job uploads). Suppress a
+// finding with `//vet:ignore [analyzer...]` on the offending line or
+// the line above it. Exit status is 1 when any diagnostic survives, 2
+// on usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
+	"io"
 	"os"
 
 	"concord/internal/vet"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: concordvet [-tests] [-list] dir|dir/... [...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("concordvet", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: concordvet [-tests] [-list] [-json] [-analyzers a,b] [-lockgraph base] dir|dir/... [...]\n")
+		fs.PrintDefaults()
 	}
-	tests := flag.Bool("tests", false, "also analyze _test.go files")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	tests := fs.Bool("tests", false, "also analyze _test.go files")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON diagnostics (sorted by file, line, analyzer)")
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	lockgraph := fs.String("lockgraph", "", "write the global lock dependency graph to BASE.json and BASE.dot")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range vet.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	patterns := flag.Args()
+	suite, err := vet.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "concordvet:", err)
+		return 2
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -49,13 +71,56 @@ func main() {
 	units, err := vet.Load(fset, patterns, *tests)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "concordvet:", err)
-		os.Exit(2)
+		return 2
 	}
-	diags := vet.Run(&vet.Pass{Fset: fset, Units: units}, vet.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	pass := &vet.Pass{Fset: fset, Units: units}
+
+	if *lockgraph != "" {
+		if err := writeLockGraph(pass, *lockgraph); err != nil {
+			fmt.Fprintln(os.Stderr, "concordvet:", err)
+			return 2
+		}
+	}
+
+	diags := vet.Run(pass, suite)
+	if *asJSON {
+		rows := make([]vet.DiagnosticJSON, 0, len(diags))
+		for _, d := range diags {
+			rows = append(rows, d.JSON())
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(os.Stderr, "concordvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeLockGraph emits the interprocedural lock dependency graph as
+// JSON and DOT next to each other: base.json + base.dot.
+func writeLockGraph(pass *vet.Pass, base string) error {
+	g := vet.BuildLockGraph(pass)
+	jf, err := os.Create(base + ".json")
+	if err != nil {
+		return err
+	}
+	defer jf.Close()
+	if err := g.WriteJSON(jf); err != nil {
+		return err
+	}
+	df, err := os.Create(base + ".dot")
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	return g.WriteDOT(df)
 }

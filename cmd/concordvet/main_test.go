@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"concord/internal/vet"
@@ -21,5 +26,71 @@ func TestModuleIsVetClean(t *testing.T) {
 	diags := vet.Run(&vet.Pass{Fset: fset, Units: units}, vet.All())
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+}
+
+// TestRunJSONAndLockgraph drives the CLI surface: -json must emit the
+// sorted machine-readable diagnostic array (empty but valid on a clean
+// tree), and -lockgraph must write both export files.
+func TestRunJSONAndLockgraph(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lockgraph")
+	var out bytes.Buffer
+	code := run([]string{"-tests", "-json", "-lockgraph", base, "../../..."}, &out)
+	if code != 0 {
+		t.Fatalf("run = %d, output:\n%s", code, out.String())
+	}
+	var diags []vet.DiagnosticJSON
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean tree emitted %d diagnostics: %+v", len(diags), diags)
+	}
+
+	raw, err := os.ReadFile(base + ".json")
+	if err != nil {
+		t.Fatalf("lockgraph JSON not written: %v", err)
+	}
+	var g vet.LockGraph
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatalf("lockgraph JSON does not parse: %v", err)
+	}
+	if g.Schema != vet.LockGraphSchema || len(g.Nodes) == 0 || len(g.Edges) == 0 {
+		t.Fatalf("lockgraph implausibly empty: schema=%q nodes=%d edges=%d", g.Schema, len(g.Nodes), len(g.Edges))
+	}
+	if len(g.Cycles) != 0 {
+		t.Errorf("module lock graph has %d deadlock cycles: %+v", len(g.Cycles), g.Cycles)
+	}
+	dot, err := os.ReadFile(base + ".dot")
+	if err != nil {
+		t.Fatalf("lockgraph DOT not written: %v", err)
+	}
+	if !strings.Contains(string(dot), "digraph lockorder") {
+		t.Errorf("DOT output malformed:\n%.200s", dot)
+	}
+}
+
+// TestRunAnalyzersSubsetAndErrors: -analyzers selects a subset; unknown
+// names and bad flags are usage errors (exit 2).
+func TestRunAnalyzersSubsetAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-analyzers", "lockpair,lockorder", "."}, &out); code != 0 {
+		t.Errorf("subset run = %d:\n%s", code, out.String())
+	}
+	if code := run([]string{"-analyzers", "nosuch", "."}, &out); code != 2 {
+		t.Errorf("unknown analyzer run = %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out); code != 2 {
+		t.Errorf("bad flag run = %d, want 2", code)
+	}
+
+	out.Reset()
+	if code := run([]string{"-list"}, &out); code != 0 {
+		t.Errorf("-list = %d", code)
+	}
+	for _, name := range []string{"lockpair", "lockorder", "blockingunderlock", "faultsite", "helperdrift"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
 	}
 }

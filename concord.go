@@ -366,11 +366,38 @@ var (
 	// ErrCostBudget is returned by Attach when the policy's static cost
 	// bound exceeds the hook budget (see SupervisorConfig.HookBudget).
 	ErrCostBudget = core.ErrCostBudget
+	// ErrInterference is returned by Attach (and Compose) under
+	// InterferenceReject when two policies statically write the same map.
+	ErrInterference = core.ErrInterference
+	// PolicyInterference compares two policies' analysis reports and
+	// returns their shared-map conflicts.
+	PolicyInterference = analysis.Interference
 )
 
 // DefaultHookBudget is the admission budget used when
 // SupervisorConfig.HookBudget is zero.
 const DefaultHookBudget = core.DefaultHookBudget
+
+// MapConflict is one statically-detected shared-map conflict between
+// two policies ("write-write" blocks under InterferenceReject,
+// "read-write" warns); InterferenceFinding anchors it to the other
+// side's attachment point (see Attachment.Interference).
+type (
+	MapConflict         = analysis.Conflict
+	InterferenceFinding = core.InterferenceFinding
+)
+
+// InterferenceMode selects how Attach treats cross-policy map conflicts
+// (SupervisorConfig.Interference): warn (default) records findings on
+// the attachment, off skips the analysis, reject fails the attach.
+type InterferenceMode = core.InterferenceMode
+
+// Interference admission stances.
+const (
+	InterferenceWarn   = core.InterferenceWarn
+	InterferenceOff    = core.InterferenceOff
+	InterferenceReject = core.InterferenceReject
+)
 
 // FaultSite is one named fault-injection point (e.g. "policy.helper");
 // FaultConfig arms it, FaultPlan arms a whole set from one seed — the

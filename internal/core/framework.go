@@ -48,6 +48,10 @@ var (
 	// cost bound exceeds the hook budget — admission control from proven
 	// bounds instead of quarantine-after-trip.
 	ErrCostBudget = errors.New("concord: policy static cost bound exceeds hook budget")
+	// ErrInterference rejects an Attach (or Compose) whose policy has a
+	// blocking write-write map conflict with another attached policy,
+	// when SupervisorConfig.Interference is InterferenceReject.
+	ErrInterference = errors.New("concord: policies statically interfere through a shared map")
 )
 
 // Policy is a named, verified set of hook programs (and/or a native Go
@@ -67,6 +71,21 @@ type Policy struct {
 // nanoseconds — the maximum over its programs' bounds, 0 for native
 // policies (unanalyzable, admitted on trust like any Go code).
 func (p *Policy) CostBound() int64 { return analysis.MaxCost(p.Analysis) }
+
+// reports flattens the per-kind analysis reports in kind order — the
+// deterministic input shape interference comparison wants.
+func (p *Policy) reports() []*analysis.Report {
+	kinds := make([]policy.Kind, 0, len(p.Analysis))
+	for k := range p.Analysis {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	out := make([]*analysis.Report, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, p.Analysis[k])
+	}
+	return out
+}
 
 // Kinds lists the hook kinds this policy provides (programs and native).
 func (p *Policy) Kinds() []policy.Kind {
@@ -108,7 +127,28 @@ type Attachment struct {
 	Policy string
 
 	sup *supervisor
+	// interference holds the cross-policy map conflicts detected at
+	// attach time (InterferenceWarn mode records them here; Reject mode
+	// refuses blocking ones before the attachment exists).
+	interference []InterferenceFinding
 }
+
+// InterferenceFinding pairs one statically-detected map conflict with
+// the other side's attachment point.
+type InterferenceFinding struct {
+	Lock     string // the other lock
+	Policy   string // the policy attached there
+	Conflict analysis.Conflict
+}
+
+func (f InterferenceFinding) String() string {
+	return fmt.Sprintf("with %s on %s: %s", f.Policy, f.Lock, f.Conflict)
+}
+
+// Interference returns the cross-policy map conflicts recorded when
+// this attachment was admitted (empty under InterferenceOff, or when
+// nothing conflicts).
+func (a *Attachment) Interference() []InterferenceFinding { return a.interference }
 
 // Wait blocks until the previous hook table has fully drained — the
 // livepatch consistency point (of the most recent attach attempt).
@@ -334,6 +374,7 @@ func (f *Framework) Compose(name, first, second string) (*Policy, error) {
 	f.mu.Lock()
 	a, okA := f.policies[first]
 	b, okB := f.policies[second]
+	mode := f.supCfg.Interference
 	f.mu.Unlock()
 	if !okA {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchPolicy, first)
@@ -345,6 +386,16 @@ func (f *Framework) Compose(name, first, second string) (*Policy, error) {
 	for k := range ka {
 		if kb[k] {
 			return nil, fmt.Errorf("%w: both %s and %s define %s", ErrPolicyConflict, first, second, k)
+		}
+	}
+	// Map interference between the constituents: a composed policy runs
+	// both programs on the same hook chain, so write-write sharing makes
+	// the later program clobber the earlier one's state on every event.
+	if mode == InterferenceReject {
+		for _, c := range analysis.Interference(a.reports(), b.reports()) {
+			if c.Blocking() {
+				return nil, fmt.Errorf("%w: composing %s and %s: %s", ErrInterference, first, second, c)
+			}
 		}
 	}
 	p := &Policy{
@@ -398,6 +449,21 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 			ErrCostBudget, policyName, bound, int64(budget), lockName)
 	}
 
+	// Cross-policy interference admission: compare the candidate's map
+	// footprint against every policy attached to another lock. Maps are
+	// a shared namespace, so two policies writing the same map race no
+	// matter which locks they ride on.
+	findings := f.interferenceLocked(lockName, p)
+	if f.supCfg.Interference == InterferenceReject {
+		for _, fi := range findings {
+			if fi.Conflict.Blocking() {
+				f.mu.Unlock()
+				return nil, fmt.Errorf("%w: %s on %s %s",
+					ErrInterference, policyName, lockName, fi)
+			}
+		}
+	}
+
 	// Injected transition abort (livepatch.abort site): the attach fails
 	// before any state changes, as a kernel livepatch transition that
 	// cannot complete would.
@@ -421,7 +487,7 @@ func (f *Framework) Attach(lockName, policyName string) (*Attachment, error) {
 		f: f, st: st, lockName: lockName, policyName: policyName, cfg: f.supCfg,
 		costBound: bound,
 	}
-	att := &Attachment{Lock: lockName, Policy: policyName, sup: sup}
+	att := &Attachment{Lock: lockName, Policy: policyName, sup: sup, interference: findings}
 	sup.att = att
 	ad := newAdapter(f, sup)
 	sup.ad = ad
@@ -521,6 +587,37 @@ func (f *Framework) StopProfiling(lockName string) error {
 	f.mu.Unlock()
 	st.hooked.HookSlot().Replace("unprofile:"+lockName, hooks).Wait()
 	return nil
+}
+
+// interferenceLocked compares a candidate policy's map footprint with
+// every policy attached to *other* locks, in sorted lock-name order
+// (deterministic findings). A policy never interferes with itself — the
+// same policy on many locks shares its maps by design. Called with f.mu
+// held.
+func (f *Framework) interferenceLocked(lockName string, p *Policy) []InterferenceFinding {
+	if f.supCfg.Interference == InterferenceOff || len(p.Analysis) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(f.locks))
+	for name := range f.locks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []InterferenceFinding
+	for _, name := range names {
+		st := f.locks[name]
+		if name == lockName || st.attached == nil {
+			continue
+		}
+		other := f.policies[st.attached.Policy]
+		if other == nil || other.Name == p.Name || len(other.Analysis) == 0 {
+			continue
+		}
+		for _, c := range analysis.Interference(p.reports(), other.reports()) {
+			out = append(out, InterferenceFinding{Lock: name, Policy: other.Name, Conflict: c})
+		}
+	}
+	return out
 }
 
 // matchLocks returns the names of registered locks matching a

@@ -99,6 +99,39 @@ type SupervisorConfig struct {
 	// cost bound (never below derivedWatchdogFloor). An explicit
 	// LatencyBudget always wins — the runtime override.
 	WatchdogScale int
+	// Interference selects how Attach treats statically-detected
+	// cross-policy map conflicts (two policies on different locks
+	// touching the same map). The zero value warns: conflicts are
+	// recorded on the attachment but the attach proceeds.
+	Interference InterferenceMode
+}
+
+// InterferenceMode is the admission stance on cross-policy map
+// interference (see internal/policy/analysis.Interference).
+type InterferenceMode int
+
+const (
+	// InterferenceWarn (default) records conflicts on the attachment
+	// and lets the attach proceed.
+	InterferenceWarn InterferenceMode = iota
+	// InterferenceOff skips the analysis entirely.
+	InterferenceOff
+	// InterferenceReject refuses attaches whose policy has a blocking
+	// (write-write) conflict with a policy attached to another lock.
+	InterferenceReject
+)
+
+// String implements fmt.Stringer.
+func (m InterferenceMode) String() string {
+	switch m {
+	case InterferenceWarn:
+		return "warn"
+	case InterferenceOff:
+		return "off"
+	case InterferenceReject:
+		return "reject"
+	}
+	return "?"
 }
 
 // DefaultHookBudget is the admission budget applied when

@@ -87,7 +87,9 @@ func TestContendedPathZeroAlloc(t *testing.T) {
 					case <-acquire:
 					}
 					tc.l.Lock(pt)
-					held <- struct{}{}
+					// Deliberate rendezvous: the test must observe the lock
+					// held before it queues a contender.
+					held <- struct{}{} //vet:ignore blockingunderlock
 					for !queued.Load() {
 						runtime.Gosched()
 					}

@@ -189,7 +189,9 @@ func TestSwitchTimeoutAborts(t *testing.T) {
 		s.RUnlock(t2)
 		close(done)
 	}()
-	<-done
+	// Deliberate wait with the read lock held: the test asserts a late
+	// reader can share it despite the aborted switch.
+	<-done //vet:ignore blockingunderlock
 
 	// The rollback patch drains once nothing can observe the abandoned
 	// implementation; the wedged holder keeps the lock usable throughout.

@@ -81,9 +81,87 @@ func TestGoldenReports(t *testing.T) {
 	if !*update {
 		files, _ := filepath.Glob(filepath.Join("testdata", "*.golden.json"))
 		for _, f := range files {
+			if filepath.Base(f) == "interference.golden.json" {
+				continue // the pairwise matrix, owned by TestGoldenInterference
+			}
 			if !seen[filepath.Base(f)] {
 				t.Errorf("stale golden %s has no matching policy", f)
 			}
 		}
+	}
+}
+
+// TestGoldenInterference pins the pairwise interference matrix over
+// every shipped policy: which pairs share maps, and how the sharing is
+// classified. Today the only sharing is profile-waits → wait-gate
+// (read-write feedback through worstwait); a new policy that writes a
+// map another policy touches shows up as a golden diff here before it
+// ever races at runtime.
+func TestGoldenInterference(t *testing.T) {
+	dir := filepath.Join("..", "..", "..", "policies")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("policies dir: %v", err)
+	}
+	var names []string
+	byName := map[string][]*Report{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pol") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit, err := policydsl.CompileAndVerify(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		var reports []*Report
+		for _, prog := range unit.Programs {
+			rep, err := Analyze(prog)
+			if err != nil {
+				t.Fatalf("analyze %q: %v", prog.Name, err)
+			}
+			reports = append(reports, rep)
+		}
+		names = append(names, e.Name())
+		byName[e.Name()] = reports
+	}
+	sort.Strings(names)
+
+	type pair struct {
+		Left      string     `json:"left"`
+		Right     string     `json:"right"`
+		Conflicts []Conflict `json:"conflicts"`
+	}
+	var pairs []pair
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			pairs = append(pairs, pair{
+				Left: names[i], Right: names[j],
+				Conflicts: Interference(byName[names[i]], byName[names[j]]),
+			})
+		}
+	}
+	got, err := json.MarshalIndent(pairs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "interference.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("interference matrix drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
 	}
 }

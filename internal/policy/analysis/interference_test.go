@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"concord/internal/policydsl"
+)
+
+func fpReport(prog string, fps ...MapFootprint) *Report {
+	return &Report{Program: prog, Footprint: fps}
+}
+
+func TestUsesAggregatesAcrossPrograms(t *testing.T) {
+	uses := Uses([]*Report{
+		fpReport("a", MapFootprint{Map: "m", ReadSites: 1, WriteSites: 2,
+			Slots: map[string]Interval{"+0": Top}}),
+		fpReport("b", MapFootprint{Map: "m", ReadSites: 3,
+			Slots: map[string]Interval{"+8": Top}}),
+		fpReport("c", MapFootprint{Map: "other"}), // untouched: dropped
+		nil,
+	})
+	u := uses["m"]
+	if u == nil {
+		t.Fatal("map m not aggregated")
+	}
+	if u.Reads != 4 || u.Writes != 2 {
+		t.Errorf("reads/writes = %d/%d, want 4/2", u.Reads, u.Writes)
+	}
+	if len(u.Programs) != 2 || u.Programs[0] != "a" || u.Programs[1] != "b" {
+		t.Errorf("programs = %v", u.Programs)
+	}
+	if len(u.WriteSlots) != 2 || u.WriteSlots[0] != "+0" || u.WriteSlots[1] != "+8" {
+		t.Errorf("write slots = %v", u.WriteSlots)
+	}
+	if _, ok := uses["other"]; ok {
+		t.Error("zero-access footprint aggregated")
+	}
+}
+
+func TestInterferenceClassification(t *testing.T) {
+	writer := func(name string) []*Report {
+		return []*Report{fpReport(name, MapFootprint{Map: "m", WriteSites: 1,
+			Slots: map[string]Interval{"+0": Top}})}
+	}
+	reader := []*Report{fpReport("r", MapFootprint{Map: "m", ReadSites: 1})}
+
+	ww := Interference(writer("w1"), writer("w2"))
+	if len(ww) != 1 || ww[0].Class != ConflictWriteWrite || !ww[0].Blocking() {
+		t.Fatalf("write-write not detected: %+v", ww)
+	}
+	if len(ww[0].SharedSlots) != 1 || ww[0].SharedSlots[0] != "+0" {
+		t.Errorf("shared slots = %v, want [+0]", ww[0].SharedSlots)
+	}
+
+	rw := Interference(writer("w"), reader)
+	if len(rw) != 1 || rw[0].Class != ConflictReadWrite || rw[0].Blocking() {
+		t.Fatalf("read-write not detected: %+v", rw)
+	}
+	// Symmetric: reader on the left.
+	if wr := Interference(reader, writer("w")); len(wr) != 1 || wr[0].Class != ConflictReadWrite {
+		t.Fatalf("read-write (flipped) not detected: %+v", wr)
+	}
+
+	// Read-read sharing is benign; disjoint maps are silent.
+	if rr := Interference(reader, reader); len(rr) != 0 {
+		t.Fatalf("read-read flagged: %+v", rr)
+	}
+	other := []*Report{fpReport("o", MapFootprint{Map: "n", WriteSites: 1})}
+	if d := Interference(writer("w"), other); len(d) != 0 {
+		t.Fatalf("disjoint maps flagged: %+v", d)
+	}
+}
+
+func TestInterferenceSortedByMap(t *testing.T) {
+	left := []*Report{fpReport("l",
+		MapFootprint{Map: "zz", WriteSites: 1},
+		MapFootprint{Map: "aa", WriteSites: 1})}
+	right := []*Report{fpReport("r",
+		MapFootprint{Map: "aa", WriteSites: 1},
+		MapFootprint{Map: "zz", WriteSites: 1})}
+	cs := Interference(left, right)
+	if len(cs) != 2 || cs[0].Map != "aa" || cs[1].Map != "zz" {
+		t.Fatalf("conflicts not sorted by map: %+v", cs)
+	}
+}
+
+// TestInterferenceFromDSL drives the classifier from compiled policies,
+// the shape Framework.Attach admission sees.
+func TestInterferenceFromDSL(t *testing.T) {
+	compile := func(src string) []*Report {
+		t.Helper()
+		unit, err := policydsl.CompileAndVerify(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reports []*Report
+		for _, prog := range unit.Programs {
+			rep, err := Analyze(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+		return reports
+	}
+	w1 := compile(`map shared hash(key = 8, value = 8, entries = 64);
+policy lock_acquired w1 { shared[ctx.lock_id] = ctx.wait_ns; return 0; }`)
+	w2 := compile(`map shared hash(key = 8, value = 8, entries = 64);
+policy lock_contended w2 { shared[ctx.lock_id] += 1; return 0; }`)
+
+	cs := Interference(w1, w2)
+	if len(cs) != 1 || cs[0].Class != ConflictWriteWrite {
+		t.Fatalf("DSL write-write not detected: %+v", cs)
+	}
+	if got := cs[0].String(); !strings.Contains(got, "map shared") || !strings.Contains(got, "write-write") {
+		t.Errorf("conflict string %q lacks map/class", got)
+	}
+}

@@ -1,0 +1,131 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// collectAliases resolves the simple local-alias pattern that used to
+// blind the lock analyzers:
+//
+//	mu := &s.mu
+//	mu.Lock()
+//	...
+//	s.mu.Unlock()
+//
+// Without resolution "mu" and "s.mu" are tracked as two different locks,
+// so the pairing (and ordering) analyses silently miss the connection.
+// The pass is flow-insensitive: it records `ident := &expr` and
+// `ident := expr` assignments whose right-hand side is a trackable
+// selector chain, chases alias-of-alias, and drops any identifier that
+// is ever rebound to a different base (or used as a loop variable),
+// which keeps the map sound for the patterns it claims to handle.
+func collectAliases(body *ast.BlockStmt) map[string]string {
+	aliases := map[string]string{}
+	invalid := map[string]bool{}
+	record := func(name, target string) {
+		if invalid[name] || name == "_" {
+			return
+		}
+		if prev, ok := aliases[name]; ok && prev != target {
+			delete(aliases, name)
+			invalid[name] = true
+			return
+		}
+		aliases[name] = target
+	}
+	invalidate := func(name string) {
+		delete(aliases, name)
+		invalid[name] = true
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if i >= len(st.Rhs) {
+					// Multi-value assignment from one call: not an alias.
+					invalidate(id.Name)
+					continue
+				}
+				target, ok := aliasTarget(st.Rhs[i])
+				if !ok || target == id.Name {
+					invalidate(id.Name)
+					continue
+				}
+				record(id.Name, target)
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := lhs.(*ast.Ident); ok {
+					invalidate(id.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Chase alias-of-alias chains (`a := &s.mu; b := a`) to a fixed
+	// point; the invalid set above breaks any accidental loop.
+	for range aliases {
+		changed := false
+		for name, target := range aliases {
+			seg, rest, _ := strings.Cut(target, ".")
+			if next, ok := aliases[seg]; ok && seg != name {
+				resolved := next
+				if rest != "" {
+					resolved += "." + rest
+				}
+				if resolved != target {
+					aliases[name] = resolved
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return aliases
+}
+
+// aliasTarget extracts the trackable base expression an alias points at:
+// `&s.mu` and `s.mu` both yield "s.mu".
+func aliasTarget(e ast.Expr) (string, bool) {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return "", false
+	}
+	s := exprString(e)
+	if s == "·" || strings.Contains(s, "·") {
+		return "", false
+	}
+	return s, true
+}
+
+// resolveAlias rewrites a lock-key base through the alias map: with
+// aliases["mu"] = "s.mu", both "mu" and "mu.inner" resolve to "s.mu"
+// and "s.mu.inner".
+func resolveAlias(aliases map[string]string, base string) string {
+	if len(aliases) == 0 {
+		return base
+	}
+	seg, rest, hasRest := strings.Cut(base, ".")
+	target, ok := aliases[seg]
+	if !ok {
+		return base
+	}
+	if hasRest {
+		return target + "." + rest
+	}
+	return target
+}

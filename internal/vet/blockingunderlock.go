@@ -1,0 +1,112 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// BlockingUnderLock flags operations that can block for an unbounded
+// time while a lock is statically held — the latency tail no policy or
+// watchdog can claw back once the critical section itself waits:
+//
+//	mu.Lock()
+//	ch <- v          // blocks every other acquirer until a reader shows up
+//	time.Sleep(d)    // sleeps with the lock held
+//	mu.Unlock()
+//
+// Flagged while a trackable lock is held: channel sends and receives,
+// selects without a default case, time.Sleep, parker waits
+// (Park/ParkRescue/AwaitFlag), and calls into I/O-performing stdlib
+// packages (os, net, http, log, fmt print family). The held-set is the
+// same alias-aware path simulation lockpair uses, per function.
+var BlockingUnderLock = &Analyzer{
+	Name: "blockingunderlock",
+	Doc:  "channel ops, sleeps, parking, and I/O while a lock is held",
+	Run:  runBlockingUnderLock,
+}
+
+// parkMethodNames are the blocking waits of internal/syncx/park.
+var parkMethodNames = map[string]bool{
+	"Park": true, "ParkRescue": true, "AwaitFlag": true,
+}
+
+// ioPackages are stdlib package qualifiers whose calls perform I/O.
+var ioPackages = map[string]bool{
+	"os": true, "net": true, "http": true, "log": true,
+}
+
+// fmtPrintFuncs are the fmt functions that write to a stream.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+func runBlockingUnderLock(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, fn := range funcBodies(f) {
+				diags = append(diags, blockingUnderLockFunc(p.Fset, fn)...)
+			}
+		}
+	}
+	return diags
+}
+
+// heldSummary renders the held-set for a message, oldest lock first.
+func heldSummary(held map[string]token.Pos) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, lockKeyBase(k))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// blockingCall classifies a call expression as a blocking operation.
+func blockingCall(call *ast.CallExpr) (what string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if id, isIdent := sel.X.(*ast.Ident); isIdent {
+		switch {
+		case id.Name == "time" && name == "Sleep":
+			return "time.Sleep", true
+		case ioPackages[id.Name]:
+			return fmt.Sprintf("I/O call %s.%s", id.Name, name), true
+		case id.Name == "fmt" && fmtPrintFuncs[name]:
+			return "fmt." + name + " (stream I/O)", true
+		}
+	}
+	if parkMethodNames[name] {
+		return fmt.Sprintf("parker wait %s.%s", exprString(sel.X), name), true
+	}
+	return "", false
+}
+
+func blockingUnderLockFunc(fset *token.FileSet, fn funcBody) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string, held map[string]token.Pos) {
+		if len(held) == 0 {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos: fset.Position(pos),
+			Msg: fmt.Sprintf("%s in %s while holding %s", what, fn.name, heldSummary(held)),
+		})
+	}
+	simulateHeld(fset, fn, &simHooks{
+		onBlock: report,
+		onCall: func(call *ast.CallExpr, held map[string]token.Pos) {
+			if what, ok := blockingCall(call); ok {
+				report(call.Pos(), what, held)
+			}
+		},
+	})
+	return diags
+}

@@ -1,0 +1,140 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockingUnderLockChannelOps(t *testing.T) {
+	src := `package p
+func f(mu mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	<-ch
+	mu.Unlock()
+	ch <- 2
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src),
+		"channel send in f while holding mu",
+		"channel receive in f while holding mu")
+}
+
+func TestBlockingUnderLockSelect(t *testing.T) {
+	src := `package p
+func f(mu mutex, a, b chan int) {
+	mu.Lock()
+	select {
+	case <-a:
+	case b <- 1:
+	}
+	mu.Unlock()
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src),
+		"blocking select in f while holding mu")
+
+	// A default case makes the select non-blocking.
+	withDefault := strings.Replace(src, "case b <- 1:", "case b <- 1:\n\tdefault:", 1)
+	wantDiags(t, runOn(t, BlockingUnderLock, withDefault))
+}
+
+func TestBlockingUnderLockCalls(t *testing.T) {
+	src := `package p
+func f(s *S) {
+	s.mu.Lock()
+	time.Sleep(10)
+	os.ReadFile("x")
+	fmt.Println("y")
+	s.parker.Park()
+	s.mu.Unlock()
+	time.Sleep(10)
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src),
+		"time.Sleep in f while holding s.mu",
+		"I/O call os.ReadFile in f while holding s.mu",
+		"fmt.Println (stream I/O) in f while holding s.mu",
+		"parker wait s.parker.Park in f while holding s.mu")
+}
+
+// TestBlockingUnderLockHeldSetNames: with two locks held the message
+// lists both, sorted.
+func TestBlockingUnderLockHeldSetNames(t *testing.T) {
+	src := `package p
+func f(s *S) {
+	s.b.Lock()
+	s.a.Lock()
+	time.Sleep(1)
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src),
+		"time.Sleep in f while holding s.a, s.b")
+}
+
+// TestBlockingUnderLockAliased: blocking through a local alias of the
+// lock is still attributed to the held lock.
+func TestBlockingUnderLockAliased(t *testing.T) {
+	src := `package p
+func f(s *S, ch chan int) {
+	mu := &s.mu
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src),
+		"channel send in f while holding s.mu")
+}
+
+// TestBlockingUnderLockBranchMerge: the held-set is must-hold — an op
+// after a branch that released on one arm is not flagged.
+func TestBlockingUnderLockBranchMerge(t *testing.T) {
+	src := `package p
+func f(mu mutex, ch chan int, bail bool) {
+	mu.Lock()
+	if bail {
+		mu.Unlock()
+	}
+	ch <- 1
+	_ = bail
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src))
+}
+
+func TestBlockingUnderLockIgnoreDirective(t *testing.T) {
+	src := `package p
+func f(mu mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 //vet:ignore blockingunderlock
+	mu.Unlock()
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src))
+
+	// Naming a different analyzer does not suppress.
+	src2 := strings.Replace(src, "vet:ignore blockingunderlock", "vet:ignore lockpair", 1)
+	wantDiags(t, runOn(t, BlockingUnderLock, src2),
+		"channel send in f while holding mu")
+}
+
+// TestBlockingUnderLockInsideLiteral: function literals are their own
+// scope — a lock held by the enclosing function is not (and cannot
+// soundly be) attributed to the goroutine body, but a lock taken inside
+// the literal is tracked.
+func TestBlockingUnderLockInsideLiteral(t *testing.T) {
+	src := `package p
+func f(mu mutex, ch chan int) {
+	go func() {
+		mu.Lock()
+		ch <- 1
+		mu.Unlock()
+	}()
+}
+`
+	wantDiags(t, runOn(t, BlockingUnderLock, src),
+		"channel send in func literal while holding mu")
+}

@@ -1,0 +1,620 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the interprocedural deadlock analyzer: it builds a
+// module-wide call graph, computes per-function held-lock-set summaries
+// (the lockpair path simulation extended across function boundaries),
+// assembles a global lock dependency graph — edge A→B when lock B can be
+// acquired while A is held, possibly through a chain of calls — and
+// reports every elementary cycle as a potential deadlock, with the
+// witness acquisition chain that realises the cycle's first edge.
+//
+// Lock identity is name-based (the analyzer is stdlib-only, so there is
+// no type information): a lock reached through a method receiver
+// canonicalises to "pkg.RecvType.field", a package-level lock to
+// "pkg.var", and anything else gets a function-scoped identity. Two
+// instances of the same type therefore share a node — exactly what a
+// lock-ordering discipline wants — and self-edges (re-acquiring a node
+// already held, which may be a different instance at runtime) are
+// recorded in the graph but excluded from cycle findings.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "interprocedural lock acquisition ordering: report potential deadlock cycles",
+	Run:  runLockOrder,
+}
+
+// LockGraphSchema versions the exported lock-graph JSON.
+const LockGraphSchema = "concord-lockgraph/1"
+
+// LockGraph is the global lock dependency graph, exportable as JSON and
+// DOT (concordvet -lockgraph, the CI artifact).
+type LockGraph struct {
+	Schema string      `json:"schema"`
+	Nodes  []*LockNode `json:"nodes"`
+	Edges  []*LockEdge `json:"edges"`
+	Cycles []LockCycle `json:"cycles,omitempty"`
+}
+
+// LockNode is one lock identity in the dependency graph.
+type LockNode struct {
+	ID string `json:"id"`
+	// Scope is "global" for receiver-field and package-level locks
+	// (correlated across functions) or "local" for function-scoped ones.
+	Scope string `json:"scope"`
+	// Acquires counts distinct acquisition sites feeding this node.
+	Acquires int `json:"acquires"`
+}
+
+// LockEdge records that To can be acquired while From is held.
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Self marks From == To (possible re-acquisition; excluded from
+	// cycle findings because distinct instances cannot be told apart).
+	Self bool `json:"self,omitempty"`
+	// Count is how many independent witness sites produce this edge.
+	Count int `json:"count"`
+	// Witness is the first acquisition chain found: hold From, then
+	// (possibly through calls) acquire To.
+	Witness []WitnessStep `json:"witness"`
+}
+
+// WitnessStep is one step of an acquisition chain.
+type WitnessStep struct {
+	Func   string `json:"func"`
+	Action string `json:"action"` // "acquire <lock>" or "call <func>"
+	Pos    string `json:"pos"`
+}
+
+func (w WitnessStep) String() string { return fmt.Sprintf("%s: %s (%s)", w.Func, w.Action, w.Pos) }
+
+// LockCycle is one elementary cycle in the dependency graph — a
+// potential deadlock.
+type LockCycle struct {
+	Locks   []string      `json:"locks"` // rotation starting at the smallest lock ID
+	Witness []WitnessStep `json:"witness"`
+}
+
+func runLockOrder(p *Pass) []Diagnostic {
+	return BuildLockGraph(p).diagnostics()
+}
+
+// --- function index and call graph ---
+
+// fnNode is one analyzed function: a FuncDecl with its unit context.
+type fnNode struct {
+	unit *Unit
+	decl *ast.FuncDecl
+	key  string // "pkg.Name" or "pkg.Recv.Name"
+	recv string // receiver identifier name, "" for plain functions
+	typ  string // receiver type name, "" for plain functions
+
+	acquires []acqEvent
+	calls    []callEvent
+	// summary: lock ID -> witness chain proving this function (or a
+	// callee) can acquire it. Built by the interprocedural fixpoint.
+	summary map[string][]WitnessStep
+}
+
+type acqEvent struct {
+	lock string // canonical lock ID
+	pos  token.Pos
+	held []heldLock // canonical held-set before the acquisition
+}
+
+type callEvent struct {
+	targets []*fnNode
+	pos     token.Pos
+	held    []heldLock
+}
+
+type heldLock struct {
+	lock string
+	pos  token.Pos
+}
+
+// recvTypeName extracts the receiver type identifier from a FuncDecl.
+func recvTypeName(d *ast.FuncDecl) (recvName, typeName string) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", ""
+	}
+	field := d.Recv.List[0]
+	if len(field.Names) > 0 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName
+}
+
+// genericMethodNames are method names too common (stdlib interfaces,
+// sync primitives) for the unique-name call-resolution heuristic: a
+// selector call `x.Close()` resolving to "the one Close method in the
+// module" would routinely be wrong.
+var genericMethodNames = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": true, "Acquire": true, "Release": true,
+	"Wait": true, "Done": true, "Add": true, "Sub": true, "Close": true,
+	"Read": true, "Write": true, "String": true, "Error": true,
+	"Len": true, "Cap": true, "Reset": true, "Store": true, "Load": true,
+	"Swap": true, "CompareAndSwap": true, "Inc": true, "Dec": true,
+	"Get": true, "Set": true, "Name": true, "Run": true, "Init": true,
+}
+
+type lockOrderIndex struct {
+	fns []*fnNode
+	// byUnitFunc: same-package plain functions.
+	byUnitFunc map[*Unit]map[string]*fnNode
+	// byUnitMethod: "RecvType.Method" within a unit.
+	byUnitMethod map[*Unit]map[string]*fnNode
+	// byPkgFunc: cross-package "pkg.Func" — only for unambiguous
+	// package names (main appears many times and is skipped).
+	byPkgFunc map[string]map[string]*fnNode
+	// byMethodName: methods defined exactly once module-wide, for the
+	// unique-name resolution heuristic.
+	byMethodName map[string][]*fnNode
+	// pkgVars: package-level identifiers per unit (lock canonicalisation).
+	pkgVars map[*Unit]map[string]bool
+}
+
+func buildIndex(p *Pass) *lockOrderIndex {
+	ix := &lockOrderIndex{
+		byUnitFunc:   map[*Unit]map[string]*fnNode{},
+		byUnitMethod: map[*Unit]map[string]*fnNode{},
+		byPkgFunc:    map[string]map[string]*fnNode{},
+		byMethodName: map[string][]*fnNode{},
+		pkgVars:      map[*Unit]map[string]bool{},
+	}
+	pkgUnits := map[string]int{}
+	for _, u := range p.Units {
+		pkgUnits[u.Pkg]++
+		ix.byUnitFunc[u] = map[string]*fnNode{}
+		ix.byUnitMethod[u] = map[string]*fnNode{}
+		vars := map[string]bool{}
+		ix.pkgVars[u] = vars
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					if d.Tok != token.VAR {
+						continue
+					}
+					for _, spec := range d.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, n := range vs.Names {
+								vars[n.Name] = true
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					fn := &fnNode{unit: u, decl: d, summary: map[string][]WitnessStep{}}
+					fn.recv, fn.typ = recvTypeName(d)
+					if fn.typ != "" {
+						fn.key = u.Pkg + "." + fn.typ + "." + d.Name.Name
+						ix.byUnitMethod[u][fn.typ+"."+d.Name.Name] = fn
+						ix.byMethodName[d.Name.Name] = append(ix.byMethodName[d.Name.Name], fn)
+					} else {
+						fn.key = u.Pkg + "." + d.Name.Name
+						ix.byUnitFunc[u][d.Name.Name] = fn
+					}
+					ix.fns = append(ix.fns, fn)
+				}
+			}
+		}
+	}
+	for _, fn := range ix.fns {
+		if fn.typ != "" {
+			continue
+		}
+		if pkgUnits[fn.unit.Pkg] == 1 {
+			m := ix.byPkgFunc[fn.unit.Pkg]
+			if m == nil {
+				m = map[string]*fnNode{}
+				ix.byPkgFunc[fn.unit.Pkg] = m
+			}
+			m[fn.decl.Name.Name] = fn
+		}
+	}
+	sort.Slice(ix.fns, func(i, j int) bool { return ix.fns[i].key < ix.fns[j].key })
+	return ix
+}
+
+// canonLock maps a function-local lock-key base to its global identity.
+func (ix *lockOrderIndex) canonLock(fn *fnNode, base string) (id string, global bool) {
+	seg, rest, hasRest := strings.Cut(base, ".")
+	switch {
+	case fn.recv != "" && seg == fn.recv && hasRest:
+		return fn.unit.Pkg + "." + fn.typ + "." + rest, true
+	case ix.pkgVars[fn.unit][seg]:
+		return fn.unit.Pkg + "." + base, true
+	default:
+		return fn.key + ":" + base, false
+	}
+}
+
+// resolveCall maps a call expression to module function candidates.
+func (ix *lockOrderIndex) resolveCall(fn *fnNode, call *ast.CallExpr) []*fnNode {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		if t := ix.byUnitFunc[fn.unit][f.Name]; t != nil {
+			return []*fnNode{t}
+		}
+	case *ast.SelectorExpr:
+		name := f.Sel.Name
+		if id, ok := f.X.(*ast.Ident); ok {
+			// Method on the receiver: same-type resolution.
+			if id.Name == fn.recv && fn.recv != "" {
+				if t := ix.byUnitMethod[fn.unit][fn.typ+"."+name]; t != nil {
+					return []*fnNode{t}
+				}
+			}
+			// Package-qualified call.
+			if m := ix.byPkgFunc[id.Name]; m != nil {
+				if t := m[name]; t != nil {
+					return []*fnNode{t}
+				}
+			}
+		}
+		// Unique-method heuristic: a method name defined exactly once in
+		// the module (and not a generic stdlib-ish name) is resolved to
+		// that definition.
+		if !genericMethodNames[name] {
+			if c := ix.byMethodName[name]; len(c) == 1 {
+				return []*fnNode{c[0]}
+			}
+		}
+	}
+	return nil
+}
+
+// --- graph construction ---
+
+type lockGraphBuilder struct {
+	ix    *lockOrderIndex
+	fset  *token.FileSet
+	edges map[[2]string]*LockEdge
+	nodes map[string]*LockNode
+	sites map[string]map[token.Pos]bool // node -> acquisition sites
+}
+
+// BuildLockGraph runs the interprocedural analysis and returns the
+// global lock dependency graph (concordvet -lockgraph and the lockorder
+// analyzer both consume it).
+func BuildLockGraph(p *Pass) *LockGraph {
+	b := &lockGraphBuilder{
+		ix:    buildIndex(p),
+		fset:  p.Fset,
+		edges: map[[2]string]*LockEdge{},
+		nodes: map[string]*LockNode{},
+		sites: map[string]map[token.Pos]bool{},
+	}
+	b.collectEvents()
+	b.fixpointSummaries()
+	b.addEdges()
+	return b.assemble()
+}
+
+// collectEvents simulates every function, recording canonicalised
+// acquire events and resolved call events with their held-sets.
+func (b *lockGraphBuilder) collectEvents() {
+	for _, fn := range b.ix.fns {
+		fn := fn
+		canonHeld := func(held map[string]token.Pos) []heldLock {
+			out := make([]heldLock, 0, len(held))
+			seen := map[string]bool{}
+			for key, pos := range held {
+				id, _ := b.ix.canonLock(fn, lockKeyBase(key))
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, heldLock{lock: id, pos: pos})
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].lock < out[j].lock })
+			return out
+		}
+		hooks := &simHooks{
+			onAcquire: func(key string, pos token.Pos, held map[string]token.Pos) {
+				id, global := b.ix.canonLock(fn, lockKeyBase(key))
+				b.touchNode(id, global, pos)
+				fn.acquires = append(fn.acquires, acqEvent{lock: id, pos: pos, held: canonHeld(held)})
+			},
+			onCall: func(call *ast.CallExpr, held map[string]token.Pos) {
+				targets := b.ix.resolveCall(fn, call)
+				if len(targets) == 0 {
+					return
+				}
+				fn.calls = append(fn.calls, callEvent{targets: targets, pos: call.Pos(), held: canonHeld(held)})
+			},
+		}
+		simulateHeld(b.fset, funcBody{name: fn.key, body: fn.decl.Body}, hooks)
+	}
+}
+
+func (b *lockGraphBuilder) touchNode(id string, global bool, pos token.Pos) {
+	n := b.nodes[id]
+	if n == nil {
+		scope := "local"
+		if global {
+			scope = "global"
+		}
+		n = &LockNode{ID: id, Scope: scope}
+		b.nodes[id] = n
+		b.sites[id] = map[token.Pos]bool{}
+	}
+	if pos != token.NoPos && !b.sites[id][pos] {
+		b.sites[id][pos] = true
+		n.Acquires++
+	}
+}
+
+// fixpointSummaries propagates "may acquire" sets up the call graph
+// until stable: summary(f) = direct acquires ∪ summaries of callees,
+// each entry carrying the first witness chain found. Convergence is
+// guaranteed because entries are only added, never changed.
+func (b *lockGraphBuilder) fixpointSummaries() {
+	pos := func(p token.Pos) string { return b.fset.Position(p).String() }
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range b.ix.fns {
+			for _, a := range fn.acquires {
+				if _, ok := fn.summary[a.lock]; !ok {
+					fn.summary[a.lock] = []WitnessStep{{
+						Func: fn.key, Action: "acquire " + a.lock, Pos: pos(a.pos),
+					}}
+					changed = true
+				}
+			}
+			for _, c := range fn.calls {
+				for _, t := range c.targets {
+					for lock, chain := range t.summary {
+						if _, ok := fn.summary[lock]; ok {
+							continue
+						}
+						step := WitnessStep{Func: fn.key, Action: "call " + t.key, Pos: pos(c.pos)}
+						fn.summary[lock] = append([]WitnessStep{step}, chain...)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// addEdges turns events + summaries into dependency edges.
+func (b *lockGraphBuilder) addEdges() {
+	pos := func(p token.Pos) string { return b.fset.Position(p).String() }
+	add := func(from heldLock, fn *fnNode, to string, tail []WitnessStep) {
+		key := [2]string{from.lock, to}
+		if e := b.edges[key]; e != nil {
+			e.Count++
+			return
+		}
+		witness := append([]WitnessStep{{
+			Func: fn.key, Action: "hold " + from.lock, Pos: pos(from.pos),
+		}}, tail...)
+		b.edges[key] = &LockEdge{
+			From: from.lock, To: to, Self: from.lock == to, Count: 1, Witness: witness,
+		}
+	}
+	for _, fn := range b.ix.fns {
+		for _, a := range fn.acquires {
+			for _, h := range a.held {
+				add(h, fn, a.lock, []WitnessStep{{
+					Func: fn.key, Action: "acquire " + a.lock, Pos: pos(a.pos),
+				}})
+			}
+		}
+		for _, c := range fn.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, t := range c.targets {
+				// Deterministic order over the callee summary.
+				locks := make([]string, 0, len(t.summary))
+				for lock := range t.summary {
+					locks = append(locks, lock)
+				}
+				sort.Strings(locks)
+				for _, lock := range locks {
+					step := WitnessStep{Func: fn.key, Action: "call " + t.key, Pos: pos(c.pos)}
+					for _, h := range c.held {
+						add(h, fn, lock, append([]WitnessStep{step}, t.summary[lock]...))
+					}
+				}
+			}
+		}
+	}
+}
+
+func (b *lockGraphBuilder) assemble() *LockGraph {
+	g := &LockGraph{Schema: LockGraphSchema}
+	for _, n := range b.nodes {
+		g.Nodes = append(g.Nodes, n)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].ID < g.Nodes[j].ID })
+	for _, e := range b.edges {
+		g.Edges = append(g.Edges, e)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].From != g.Edges[j].From {
+			return g.Edges[i].From < g.Edges[j].From
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+	g.Cycles = findCycles(g.Edges)
+	return g
+}
+
+// findCycles enumerates elementary cycles (length ≥ 2) over the edge
+// set, each reported once with its rotation starting at the smallest
+// lock ID. Self-edges are excluded: name-based identity cannot tell two
+// instances of the same type apart, so A→A is recorded on the edge but
+// is not a finding. Bounded depth and count keep pathological graphs
+// from exploding.
+func findCycles(edges []*LockEdge) []LockCycle {
+	const (
+		maxLen    = 8
+		maxCycles = 64
+	)
+	succ := map[string][]string{}
+	edgeByKey := map[[2]string]*LockEdge{}
+	nodeSet := map[string]bool{}
+	for _, e := range edges {
+		if e.Self {
+			continue
+		}
+		succ[e.From] = append(succ[e.From], e.To)
+		edgeByKey[[2]string{e.From, e.To}] = e
+		nodeSet[e.From], nodeSet[e.To] = true, true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+
+	var cycles []LockCycle
+	var path []string
+	onPath := map[string]bool{}
+	var start string
+	var dfs func(n string)
+	dfs = func(n string) {
+		if len(cycles) >= maxCycles || len(path) >= maxLen {
+			return
+		}
+		path = append(path, n)
+		onPath[n] = true
+		for _, next := range succ[n] {
+			if next == start && len(path) >= 2 {
+				locks := append([]string(nil), path...)
+				var witness []WitnessStep
+				for i := range locks {
+					e := edgeByKey[[2]string{locks[i], locks[(i+1)%len(locks)]}]
+					witness = append(witness, e.Witness...)
+				}
+				cycles = append(cycles, LockCycle{Locks: locks, Witness: witness})
+				continue
+			}
+			// Enumerate each cycle once: only walk nodes greater than
+			// the start (the cycle is discovered from its smallest node).
+			if next > start && !onPath[next] {
+				dfs(next)
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+	}
+	for _, n := range nodes {
+		start = n
+		dfs(n)
+	}
+	return cycles
+}
+
+// diagnostics renders each cycle as one finding, anchored at the source
+// position where the cycle's first edge acquires its second lock (the
+// line a `//vet:ignore lockorder` suppression annotates).
+func (g *LockGraph) diagnostics() []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range g.Cycles {
+		anchor := token.Position{}
+		// The first edge's witness ends at the acquisition of the second
+		// lock in the cycle; anchor there.
+		var firstEdgeEnd WitnessStep
+		for _, e := range g.Edges {
+			if e.From == c.Locks[0] && e.To == c.Locks[1%len(c.Locks)] {
+				firstEdgeEnd = e.Witness[len(e.Witness)-1]
+				break
+			}
+		}
+		anchor = parsePosition(firstEdgeEnd.Pos)
+		var steps []string
+		for _, w := range c.Witness {
+			steps = append(steps, w.String())
+		}
+		diags = append(diags, Diagnostic{
+			Pos: anchor,
+			Msg: fmt.Sprintf("potential deadlock cycle: %s -> %s; witness: %s",
+				strings.Join(c.Locks, " -> "), c.Locks[0], strings.Join(steps, "; ")),
+		})
+	}
+	return diags
+}
+
+// parsePosition reverses token.Position.String() ("file:line:col").
+func parsePosition(s string) token.Position {
+	var p token.Position
+	rest := s
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		fmt.Sscanf(rest[i+1:], "%d", &p.Column)
+		rest = rest[:i]
+	}
+	if i := strings.LastIndexByte(rest, ':'); i >= 0 {
+		fmt.Sscanf(rest[i+1:], "%d", &p.Line)
+		rest = rest[:i]
+	}
+	p.Filename = rest
+	return p
+}
+
+// WriteJSON emits the graph as indented JSON.
+func (g *LockGraph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// WriteDOT emits the graph in Graphviz DOT form. Cycle edges are
+// highlighted red; local-scope nodes render dashed.
+func (g *LockGraph) WriteDOT(w io.Writer) error {
+	inCycle := map[[2]string]bool{}
+	for _, c := range g.Cycles {
+		for i := range c.Locks {
+			inCycle[[2]string{c.Locks[i], c.Locks[(i+1)%len(c.Locks)]}] = true
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph lockorder {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		attrs := ""
+		if n.Scope == "local" {
+			attrs = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", n.ID, fmt.Sprintf("%s (%d)", n.ID, n.Acquires), attrs)
+	}
+	for _, e := range g.Edges {
+		attrs := fmt.Sprintf("label=%q", e.Witness[len(e.Witness)-1].Pos)
+		if inCycle[[2]string{e.From, e.To}] {
+			attrs += ", color=red, penwidth=2"
+		} else if e.Self {
+			attrs += ", style=dotted"
+		}
+		fmt.Fprintf(&sb, "  %q -> %q [%s];\n", e.From, e.To, attrs)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,223 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseUnits builds a multi-unit Pass: one unit per entry, each holding
+// one file, keyed by a synthetic directory name.
+func parseUnits(t *testing.T, srcs ...string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	var units []*Unit
+	for i, src := range srcs {
+		name := "unit" + string(rune('a'+i)) + ".go"
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		units = append(units, &Unit{Dir: "test" + string(rune('a'+i)), Pkg: f.Name.Name, Files: []*ast.File{f}})
+	}
+	return &Pass{Fset: fset, Units: units}
+}
+
+const src2Cycle = `package p
+type S struct{ a, b mutex }
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`
+
+func TestLockOrderTwoCycle(t *testing.T) {
+	diags := runOn(t, LockOrder, src2Cycle)
+	wantDiags(t, diags, "potential deadlock cycle: p.S.a -> p.S.b -> p.S.a")
+	if !strings.Contains(diags[0].Msg, "hold p.S.a") || !strings.Contains(diags[0].Msg, "acquire p.S.b") {
+		t.Errorf("witness chain missing from %q", diags[0].Msg)
+	}
+}
+
+func TestLockOrderTwoCycleSuppressed(t *testing.T) {
+	// The finding anchors where the cycle's first edge acquires its
+	// second lock: s.b.Lock() inside f.
+	src := strings.Replace(src2Cycle, "\ts.b.Lock()\n\ts.b.Unlock()",
+		"\ts.b.Lock() //vet:ignore lockorder\n\ts.b.Unlock()", 1)
+	wantDiags(t, runOn(t, LockOrder, src))
+}
+
+// TestLockOrderThreeCycleInterprocedural spans three packages: alpha
+// holds A across a call into beta, beta holds B across a call into
+// gamma, and gamma's entry point holds C across a call back into alpha.
+// The summaries must propagate through the call graph to close the
+// 3-cycle A→B→C→A (plus the implied shorter cycles from transitive
+// acquisition).
+func TestLockOrderThreeCycleInterprocedural(t *testing.T) {
+	p := parseUnits(t,
+		`package alpha
+var A mutex
+func UnderA() { A.Lock(); beta.UnderB(); A.Unlock() }
+`,
+		`package beta
+var B mutex
+func UnderB() { B.Lock(); gamma.UnderC(); B.Unlock() }
+`,
+		`package gamma
+var C mutex
+func UnderC() { C.Lock(); C.Unlock() }
+func Reenter() { C.Lock(); alpha.UnderA(); C.Unlock() }
+`)
+	g := BuildLockGraph(p)
+	var got [][]string
+	for _, c := range g.Cycles {
+		cyc := append([]string(nil), c.Locks...)
+		sort.Strings(cyc)
+		got = append(got, cyc)
+	}
+	want := []string{"alpha.A", "beta.B", "gamma.C"}
+	found := false
+	for _, cyc := range got {
+		if len(cyc) == 3 && cyc[0] == want[0] && cyc[1] == want[1] && cyc[2] == want[2] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("3-cycle %v not found; cycles: %v", want, got)
+	}
+	// Each cycle is one diagnostic.
+	diags := Run(p, []*Analyzer{LockOrder})
+	if len(diags) != len(g.Cycles) {
+		t.Fatalf("got %d diagnostics for %d cycles", len(diags), len(g.Cycles))
+	}
+	// The 3-cycle witness walks the whole call chain.
+	for _, c := range g.Cycles {
+		if len(c.Locks) != 3 {
+			continue
+		}
+		var funcs []string
+		for _, w := range c.Witness {
+			funcs = append(funcs, w.Func)
+		}
+		joined := strings.Join(funcs, " ")
+		for _, fn := range []string{"alpha.UnderA", "beta.UnderB", "gamma.Reenter"} {
+			if !strings.Contains(joined, fn) {
+				t.Errorf("3-cycle witness missing %s: %v", fn, funcs)
+			}
+		}
+	}
+}
+
+// TestLockOrderCleanDiamond pins the no-false-positive case: a diamond
+// call graph (top → left/right → inner) acquiring a before b on both
+// arms yields the a→b edge twice and no cycle.
+func TestLockOrderCleanDiamond(t *testing.T) {
+	p := parseUnits(t, `package p
+var a, b mutex
+func top() { left(); right() }
+func left() { a.Lock(); inner(); a.Unlock() }
+func right() { a.Lock(); inner(); a.Unlock() }
+func inner() { b.Lock(); b.Unlock() }
+`)
+	g := BuildLockGraph(p)
+	if len(g.Cycles) != 0 {
+		t.Fatalf("clean diamond produced cycles: %+v", g.Cycles)
+	}
+	var edge *LockEdge
+	for _, e := range g.Edges {
+		if e.From == "p.a" && e.To == "p.b" {
+			edge = e
+		}
+	}
+	if edge == nil || edge.Count != 2 {
+		t.Fatalf("want p.a->p.b edge with count 2, got %+v", g.Edges)
+	}
+	if diags := Run(p, []*Analyzer{LockOrder}); len(diags) != 0 {
+		t.Fatalf("clean diamond produced diagnostics: %v", diags)
+	}
+}
+
+// TestLockOrderSelfEdgeExcluded: re-acquiring the same named lock
+// through a callee is recorded as a self-edge but is not a cycle
+// finding (name identity cannot distinguish instances).
+func TestLockOrderSelfEdgeExcluded(t *testing.T) {
+	p := parseUnits(t, `package p
+type S struct{ mu mutex }
+func (s *S) outer() { s.mu.Lock(); s.inner(); s.mu.Unlock() }
+func (s *S) inner() { s.mu.Lock(); s.mu.Unlock() }
+`)
+	g := BuildLockGraph(p)
+	if len(g.Cycles) != 0 {
+		t.Fatalf("self-edge reported as cycle: %+v", g.Cycles)
+	}
+	var self *LockEdge
+	for _, e := range g.Edges {
+		if e.From == "p.S.mu" && e.To == "p.S.mu" {
+			self = e
+		}
+	}
+	if self == nil || !self.Self {
+		t.Fatalf("self-edge not recorded: %+v", g.Edges)
+	}
+}
+
+// TestLockOrderAliasResolved: an alias taken on one side of the cycle
+// still resolves to the canonical lock, closing the cycle.
+func TestLockOrderAliasResolved(t *testing.T) {
+	p := parseUnits(t, `package p
+type S struct{ a, b mutex }
+func (s *S) f() {
+	mu := &s.a
+	mu.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	mu.Unlock()
+}
+func (s *S) g() { s.b.Lock(); s.a.Lock(); s.a.Unlock(); s.b.Unlock() }
+`)
+	g := BuildLockGraph(p)
+	if len(g.Cycles) != 1 {
+		t.Fatalf("alias broke the cycle: %+v", g.Edges)
+	}
+}
+
+func TestLockGraphExports(t *testing.T) {
+	p := parseUnits(t, src2Cycle)
+	g := BuildLockGraph(p)
+
+	var jbuf bytes.Buffer
+	if err := g.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var round LockGraph
+	if err := json.Unmarshal(jbuf.Bytes(), &round); err != nil {
+		t.Fatalf("graph JSON does not round-trip: %v", err)
+	}
+	if round.Schema != LockGraphSchema || len(round.Edges) != len(g.Edges) || len(round.Cycles) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", round)
+	}
+
+	var dbuf bytes.Buffer
+	if err := g.WriteDOT(&dbuf); err != nil {
+		t.Fatal(err)
+	}
+	dot := dbuf.String()
+	for _, want := range []string{"digraph lockorder", `"p.S.a" -> "p.S.b"`, "color=red"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -18,10 +18,12 @@ import (
 //
 // The check simulates a held-set over the statement tree (branches,
 // loops, switches), treating `defer mu.Unlock()` as covering every
-// subsequent path. Functions that acquire a lock and never release it
-// (intentional cross-function lockers, e.g. a Lock method wrapping an
-// inner lock) are skipped: the leak signal is "this function pairs the
-// lock on some paths but not all of them".
+// subsequent path. Simple local aliases (`mu := &s.mu`) resolve to the
+// aliased lock, so mixed alias/direct pairing is tracked as one lock.
+// Functions that acquire a lock and never release it (intentional
+// cross-function lockers, e.g. a Lock method wrapping an inner lock)
+// are skipped: the leak signal is "this function pairs the lock on some
+// paths but not all of them".
 var LockPair = &Analyzer{
 	Name: "lockpair",
 	Doc:  "lock/unlock pairing on all paths within a function",
@@ -48,10 +50,10 @@ func runLockPair(p *Pass) []Diagnostic {
 }
 
 // lockCall classifies a call expression as an acquire or release of a
-// trackable lock expression. The key pairs the base expression with the
-// acquire method so read and write locks on the same mutex are tracked
-// independently.
-func lockCall(e ast.Expr) (key string, acquire bool, ok bool) {
+// trackable lock expression, resolving simple local aliases. The key
+// pairs the base expression with the acquire method so read and write
+// locks on the same mutex are tracked independently.
+func lockCall(e ast.Expr, aliases map[string]string) (key string, acquire bool, ok bool) {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
 		return "", false, false
@@ -64,6 +66,7 @@ func lockCall(e ast.Expr) (key string, acquire bool, ok bool) {
 	if base == "·" {
 		return "", false, false
 	}
+	base = resolveAlias(aliases, base)
 	if _, isAcq := lockPairs[sel.Sel.Name]; isAcq {
 		return base + "." + sel.Sel.Name, true, true
 	}
@@ -75,13 +78,33 @@ func lockCall(e ast.Expr) (key string, acquire bool, ok bool) {
 	return "", false, false
 }
 
+// lockKeyBase strips the acquire-method suffix off a held-set key:
+// "s.mu.Lock" and "s.mu.RLock" both identify lock "s.mu".
+func lockKeyBase(key string) string {
+	for acq := range lockPairs {
+		if rest, ok := cutSuffixDot(key, acq); ok {
+			return rest
+		}
+	}
+	return key
+}
+
+func cutSuffixDot(s, method string) (string, bool) {
+	suffix := "." + method
+	if len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
 func lockPairFunc(fset *token.FileSet, fn funcBody) []Diagnostic {
+	aliases := collectAliases(fn.body)
 	// First pass: which lock keys does this function release anywhere?
 	// Only those participate — a pure locker or pure releaser is a
 	// cross-function protocol, not a leak.
 	releases := map[string]bool{}
 	inspectShallow(fn.body, func(n ast.Node) bool {
-		if key, acq, ok := lockCall(nodeExpr(n)); ok && !acq {
+		if key, acq, ok := lockCall(nodeExpr(n), aliases); ok && !acq {
 			releases[key] = true
 		}
 		return true
@@ -89,7 +112,7 @@ func lockPairFunc(fset *token.FileSet, fn funcBody) []Diagnostic {
 	if len(releases) == 0 {
 		return nil
 	}
-	sim := &lockSim{fset: fset, fn: fn, releases: releases}
+	sim := &lockSim{fset: fset, fn: fn, aliases: aliases, releases: releases, reportLeaks: true}
 	exit, terminated := sim.block(fn.body.List, map[string]token.Pos{})
 	if !terminated {
 		sim.checkHeld(exit, fn.body.Rbrace, "function end")
@@ -104,14 +127,44 @@ func nodeExpr(n ast.Node) ast.Expr {
 	return nil
 }
 
+// simHooks receive path-simulation events from lockSim; the other
+// analyzers (lockorder, blockingunderlock) plug in here and share the
+// held-set machinery. The held map passed to each hook is live
+// simulation state — copy it if retained.
+type simHooks struct {
+	// onAcquire fires when a trackable lock is acquired; held is the
+	// state *before* the acquisition.
+	onAcquire func(key string, pos token.Pos, held map[string]token.Pos)
+	// onCall fires for every non-lock call expression reachable on the
+	// simulated path (function literals and `go`/`defer` payloads are
+	// separate scopes and excluded).
+	onCall func(call *ast.CallExpr, held map[string]token.Pos)
+	// onBlock fires for potentially-blocking constructs: channel sends,
+	// channel receives, and selects without a default case.
+	onBlock func(pos token.Pos, what string, held map[string]token.Pos)
+}
+
+// simulateHeld runs the held-set path simulation over fn purely for its
+// event stream (no leak diagnostics).
+func simulateHeld(fset *token.FileSet, fn funcBody, hooks *simHooks) {
+	sim := &lockSim{fset: fset, fn: fn, aliases: collectAliases(fn.body), hooks: hooks}
+	sim.block(fn.body.List, map[string]token.Pos{})
+}
+
 type lockSim struct {
-	fset     *token.FileSet
-	fn       funcBody
-	releases map[string]bool
-	diags    []Diagnostic
+	fset        *token.FileSet
+	fn          funcBody
+	aliases     map[string]string
+	releases    map[string]bool
+	reportLeaks bool
+	hooks       *simHooks
+	diags       []Diagnostic
 }
 
 func (s *lockSim) checkHeld(held map[string]token.Pos, at token.Pos, what string) {
+	if !s.reportLeaks {
+		return
+	}
 	for key, lockPos := range held {
 		if !s.releases[key] {
 			continue
@@ -122,6 +175,38 @@ func (s *lockSim) checkHeld(held map[string]token.Pos, at token.Pos, what string
 				what, s.fn.name, key, s.fset.Position(lockPos)),
 		})
 	}
+}
+
+// scan walks the expression parts of one statement, reporting call and
+// blocking events against the current held-set. blocking=false
+// suppresses channel-op reports (used for select comm clauses, whose
+// blocking behaviour is attributed to the select itself).
+func (s *lockSim) scan(n ast.Node, held map[string]token.Pos, blocking bool) {
+	if n == nil || s.hooks == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if _, _, ok := lockCall(x, s.aliases); ok {
+				return true // held-set transition, not a plain call
+			}
+			if s.hooks.onCall != nil {
+				s.hooks.onCall(x, held)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && blocking && s.hooks.onBlock != nil {
+				s.hooks.onBlock(x.Pos(), "channel receive", held)
+			}
+		case *ast.SendStmt:
+			if blocking && s.hooks.onBlock != nil {
+				s.hooks.onBlock(x.Pos(), "channel send", held)
+			}
+		}
+		return true
+	})
 }
 
 func clone(held map[string]token.Pos) map[string]token.Pos {
@@ -168,8 +253,11 @@ func (s *lockSim) block(list []ast.Stmt, held map[string]token.Pos) (map[string]
 func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
 	switch st := stmt.(type) {
 	case *ast.ExprStmt:
-		if key, acq, ok := lockCall(st.X); ok {
+		if key, acq, ok := lockCall(st.X, s.aliases); ok {
 			if acq {
+				if s.hooks != nil && s.hooks.onAcquire != nil {
+					s.hooks.onAcquire(key, st.Pos(), held)
+				}
 				held[key] = st.Pos()
 			} else {
 				delete(held, key)
@@ -178,20 +266,24 @@ func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]tok
 		}
 		if call, ok := st.X.(*ast.CallExpr); ok {
 			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				s.scan(st.X, held, true)
 				return held, true
 			}
 		}
+		s.scan(st.X, held, true)
 		return held, false
 
 	case *ast.DeferStmt:
 		// defer mu.Unlock() — or a deferred closure releasing locks —
-		// covers every path from here on.
-		for _, key := range deferredReleases(st.Call) {
+		// covers every path from here on. The deferred payload itself
+		// runs at return time; it is not scanned as a path event.
+		for _, key := range deferredReleases(st.Call, s.aliases) {
 			delete(held, key)
 		}
 		return held, false
 
 	case *ast.ReturnStmt:
+		s.scan(st, held, true)
 		s.checkHeld(held, st.Pos(), "return")
 		return held, true
 
@@ -211,6 +303,7 @@ func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]tok
 		if st.Init != nil {
 			held, _ = s.stmt(st.Init, held)
 		}
+		s.scan(st.Cond, held, true)
 		thenExit, thenTerm := s.block(st.Body.List, clone(held))
 		elseExit, elseTerm := clone(held), false
 		if st.Else != nil {
@@ -231,6 +324,8 @@ func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]tok
 		if st.Init != nil {
 			held, _ = s.stmt(st.Init, held)
 		}
+		s.scan(st.Cond, held, true)
+		s.scan(st.Post, held, true)
 		bodyExit, bodyTerm := s.block(st.Body.List, clone(held))
 		if st.Cond == nil && bodyTerm {
 			// `for { ... }` with no fall-through: treat like the body.
@@ -242,6 +337,7 @@ func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]tok
 		return intersect(held, bodyExit), false
 
 	case *ast.RangeStmt:
+		s.scan(st.X, held, true)
 		bodyExit, bodyTerm := s.block(st.Body.List, clone(held))
 		if bodyTerm {
 			return held, false
@@ -257,6 +353,7 @@ func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]tok
 		return held, false
 
 	default:
+		s.scan(stmt, held, true)
 		return held, false
 	}
 }
@@ -264,15 +361,19 @@ func (s *lockSim) stmt(stmt ast.Stmt, held map[string]token.Pos) (map[string]tok
 func (s *lockSim) switchLike(stmt ast.Stmt, held map[string]token.Pos) (map[string]token.Pos, bool) {
 	var body *ast.BlockStmt
 	hasDefault := false
+	isSelect := false
 	switch st := stmt.(type) {
 	case *ast.SwitchStmt:
 		if st.Init != nil {
 			held, _ = s.stmt(st.Init, held)
 		}
+		s.scan(st.Tag, held, true)
 		body = st.Body
 	case *ast.TypeSwitchStmt:
+		s.scan(st.Assign, held, true)
 		body = st.Body
 	case *ast.SelectStmt:
+		isSelect = true
 		body = st.Body
 	}
 	var exits []map[string]token.Pos
@@ -284,16 +385,26 @@ func (s *lockSim) switchLike(stmt ast.Stmt, held map[string]token.Pos) (map[stri
 			if cc.List == nil {
 				hasDefault = true
 			}
+			for _, e := range cc.List {
+				s.scan(e, held, true)
+			}
 		case *ast.CommClause:
 			caseBody = cc.Body
 			if cc.Comm == nil {
 				hasDefault = true
+			} else {
+				// Calls in the comm op still happen; its channel op is
+				// attributed to the select as a whole below.
+				s.scan(cc.Comm, held, false)
 			}
 		}
 		exit, term := s.block(caseBody, clone(held))
 		if !term {
 			exits = append(exits, exit)
 		}
+	}
+	if isSelect && !hasDefault && s.hooks != nil && s.hooks.onBlock != nil {
+		s.hooks.onBlock(stmt.Pos(), "blocking select", held)
 	}
 	if !hasDefault {
 		exits = append(exits, held)
@@ -306,8 +417,8 @@ func (s *lockSim) switchLike(stmt ast.Stmt, held map[string]token.Pos) (map[stri
 
 // deferredReleases lists lock keys released by a deferred call: either
 // directly (`defer mu.Unlock()`) or inside a deferred closure.
-func deferredReleases(call *ast.CallExpr) []string {
-	if key, acq, ok := lockCall(call); ok && !acq {
+func deferredReleases(call *ast.CallExpr, aliases map[string]string) []string {
+	if key, acq, ok := lockCall(call, aliases); ok && !acq {
 		return []string{key}
 	}
 	lit, ok := call.Fun.(*ast.FuncLit)
@@ -316,7 +427,7 @@ func deferredReleases(call *ast.CallExpr) []string {
 	}
 	var keys []string
 	inspectShallow(lit.Body, func(n ast.Node) bool {
-		if key, acq, ok := lockCall(nodeExpr(n)); ok && !acq {
+		if key, acq, ok := lockCall(nodeExpr(n), aliases); ok && !acq {
 			keys = append(keys, key)
 		}
 		return true

@@ -142,3 +142,57 @@ func sw(n int) {
 `)
 	wantDiags(t, diags, "return in sw with mu.Lock() held")
 }
+
+// TestLockPairAliasRegression pins the alias fix: `mu := &s.mu` used to
+// be tracked as a lock distinct from s.mu, so a leak acquired through
+// the alias and released through the field (or vice versa) was
+// invisible, and a balanced pair looked like a mismatched one.
+func TestLockPairAliasRegression(t *testing.T) {
+	diags := runOn(t, LockPair, `package p
+func aliasLeak(s *S, bad bool) {
+	mu := &s.mu
+	mu.Lock()
+	if bad {
+		return
+	}
+	s.mu.Unlock()
+}
+`)
+	wantDiags(t, diags, "return in aliasLeak with s.mu.Lock() held")
+
+	diags = runOn(t, LockPair, `package p
+func aliasBalanced(s *S, bad bool) {
+	mu := &s.mu
+	mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+func aliasOfAlias(s *S, bad bool) {
+	a := &s.mu
+	b := a
+	b.Lock()
+	if bad {
+		a.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+`)
+	wantDiags(t, diags)
+
+	// A rebound alias stops resolving: after `mu = &s.other` the name no
+	// longer stands for s.mu, so the analyzer must not conflate them.
+	diags = runOn(t, LockPair, `package p
+func rebound(s *S, bad bool) {
+	mu := &s.mu
+	mu = &s.other
+	mu.Lock()
+	mu.Unlock()
+	_ = bad
+}
+`)
+	wantDiags(t, diags)
+}

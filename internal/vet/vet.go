@@ -47,6 +47,25 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Msg)
 }
 
+// DiagnosticJSON is the machine-readable diagnostic form emitted by
+// `concordvet -json`: stable field set, sorted the same way Run sorts
+// its output (file, line, analyzer), so CI annotation diffs cleanly.
+type DiagnosticJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Msg      string `json:"msg"`
+}
+
+// JSON converts a diagnostic to its machine-readable form.
+func (d Diagnostic) JSON() DiagnosticJSON {
+	return DiagnosticJSON{
+		File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+		Analyzer: d.Analyzer, Msg: d.Msg,
+	}
+}
+
 // Analyzer is one named check over a Pass.
 type Analyzer struct {
 	Name string
@@ -56,7 +75,32 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{LockPair, FaultSite, HelperDrift}
+	return []*Analyzer{LockPair, LockOrder, BlockingUnderLock, FaultSite, HelperDrift}
+}
+
+// ByName returns the named analyzers from the full suite (comma-split
+// names, e.g. "lockpair,lockorder"), or All() when names is empty.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("vet: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // Load parses the packages matched by patterns into Units. A pattern is
