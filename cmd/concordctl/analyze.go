@@ -11,6 +11,7 @@ import (
 	"concord"
 	"concord/internal/policy"
 	"concord/internal/policy/analysis"
+	"concord/internal/policy/jit"
 	"concord/internal/policydsl"
 )
 
@@ -80,8 +81,10 @@ func cmdAnalyze(args []string, stdout io.Writer) error {
 			return err
 		}
 	} else {
-		for _, rep := range reports {
+		for i, rep := range reports {
 			fmt.Fprint(stdout, rep.String())
+			ch := jit.Choose(progs[i], rep)
+			fmt.Fprintf(stdout, "  tier:          %s (%s)\n", ch.Tier, ch.Reason)
 			if unit != nil {
 				// Map warning pcs back to DSL source lines.
 				for _, w := range rep.Warnings {

@@ -273,7 +273,7 @@ func printPolicyMapTable(w io.Writer, rows []concord.PolicyRow) {
 // no window has data.
 func printLockTable(w io.Writer, rows []concord.LockRow) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "LOCK\tPOLICY\tCOST\tBRK\tACQ\tCONT\tCONT‰\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tRWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
+	fmt.Fprintln(tw, "LOCK\tPOLICY\tTIER\tCOST\tBRK\tACQ\tCONT\tCONT‰\tREADS\tWAIT-TOTAL\tWAIT-MEAN\tWAIT-P99\tRWAIT-P99\tHOLD-MEAN\tHOLD-MAX")
 	for _, r := range rows {
 		cost := "-"
 		if r.CostBoundNS > 0 {
@@ -286,8 +286,8 @@ func printLockTable(w io.Writer, rows []concord.LockRow) {
 			recentRate = strconv.FormatInt(r.RecentContentionPerMille, 10)
 			recentP99 = fmtDur(r.RecentWaitP99NS)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
-			r.Lock, orDash(r.Policy), cost, orDash(r.Breaker),
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Lock, orDash(r.Policy), orDash(r.Tier), cost, orDash(r.Breaker),
 			r.Acquisitions, r.Contentions, recentRate, r.ReadAcqs,
 			fmtDur(r.WaitTotalNS), fmtDur(r.WaitMeanNS), fmtDur(r.WaitP99NS), recentP99,
 			fmtDur(r.HoldMeanNS), fmtDur(r.HoldMaxNS))

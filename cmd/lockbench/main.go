@@ -20,13 +20,17 @@
 //
 // Regression mode (the perfstat harness):
 //
-//	lockbench -regress [-baseline BENCH_4.json] [-regress-out BENCH_5.json]
-//	          [-runs 5] [-ops N] [-pooling on|off] [-slack 5]
+//	lockbench -regress [-baseline BENCH_5.json] [-regress-out BENCH_9.json]
+//	          [-runs 5] [-ops N] [-pooling on|off] [-slack 5] [-jit=on|off]
 //	          [-profile] [-profile-rate N] [-profile-out contention.pb.gz]
 //
 // -profile arms sampled continuous contention profiling on every
 // real-lock cell, so the measured throughput includes profiling
 // overhead; -profile-out exports the cumulative pprof profile.
+//
+// -jit=off is the tier ablation: the hook_plane cells and the cBPF sim
+// series dispatch through the interpreter instead of the JIT closure
+// tier, so a baseline comparison quantifies what the JIT buys.
 //
 // measures the lock × workload matrix (real locks on hashtable / lock2 /
 // page_fault2 plus the deterministic ksim Figure-2 sweep at simulated
@@ -38,7 +42,7 @@
 //
 // Schedule-fuzz mode (the internal/schedfuzz harness):
 //
-//	lockbench -schedfuzz lock-torture|map-churn|chaos|seq-lock|selftest
+//	lockbench -schedfuzz lock-torture|map-churn|chaos|jit-churn|seq-lock|selftest
 //	          [-seed N] [-schedfuzz-iters N]
 //	          [-schedfuzz-strategy random|pct|targeted]
 //	          [-schedule-out f.json] [-flight-dir d] [-deadline 2m]
@@ -77,11 +81,12 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "abort with a goroutine dump if the run exceeds this (0 = no deadline); keeps a wedged benchmark from hanging CI")
 	regress := flag.Bool("regress", false, "run the perfstat regression matrix instead of a figure")
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json to compare the -regress run against")
-	regressOut := flag.String("regress-out", "BENCH_5.json", "where -regress writes the new baseline")
+	regressOut := flag.String("regress-out", "BENCH_9.json", "where -regress writes the new baseline")
 	runs := flag.Int("runs", 5, "repeated measurements per -regress cell")
 	workers := flag.Int("workers", 8, "workers per real-lock -regress cell")
 	pooling := flag.String("pooling", "on", "queue-node pooling during -regress: on | off")
 	slack := flag.Float64("slack", 5, "percent throughput drop tolerated before a significant delta fails the gate")
+	jitOn := flag.Bool("jit", true, "execute policies through the JIT closure tier during -regress and figures; -jit=off is the interpreter ablation")
 	profileOn := flag.Bool("profile", false, "run -regress with continuous contention profiling armed on every real-lock cell")
 	profileRate := flag.Int("profile-rate", 0, "1-in-N sampling rate for -profile (0 = default)")
 	profileOut := flag.String("profile-out", "", "write the -profile pprof contention profile here after the run")
@@ -121,6 +126,8 @@ func main() {
 			flightDir:   *fuzzFlightDir,
 		}))
 	}
+
+	experiments.SetJIT(*jitOn)
 
 	if *regress {
 		cfg := regressConfigFromFlags(*runs, *workers, *ops, *pooling)

@@ -9,6 +9,7 @@ import (
 	"concord/internal/faultinject"
 	"concord/internal/locks"
 	"concord/internal/policy"
+	"concord/internal/policy/jit"
 	"concord/internal/task"
 )
 
@@ -206,16 +207,35 @@ func taskFields(t *task.T) (id, cpu, socket, prio, weight, cs, held, speed, quot
 	return
 }
 
-// hooks builds the lock hook table executing the given programs. Each
-// program is compiled to native closures once at attach time (§4.2's
-// "translated into native code"); the interpreter remains as fallback.
-func (a *adapter) hooks(progs map[policy.Kind]*policy.Program) *locks.Hooks {
+// hooks builds the lock hook table executing the policy's programs on
+// the tier chosen for each at admission (§4.2's "translated into native
+// code"): JIT-tier programs dispatch straight into their fused closures,
+// VM-tier ones through the reference interpreter. mode overrides the
+// per-program choice for ablation (force-VM baseline, force-JIT).
+func (a *adapter) hooks(pol *Policy, mode TierMode) *locks.Hooks {
+	progs := pol.Programs
 	h := &locks.Hooks{Name: a.policyName}
 
 	compiled := make(map[*policy.Program]policy.CompiledFn, len(progs))
-	for _, p := range progs {
-		if fn, err := policy.CompileNative(p); err == nil {
-			compiled[p] = fn
+	for k, p := range progs {
+		switch mode {
+		case TierForceVM:
+			// interpreter everywhere: leave the map empty
+		case TierForceJIT:
+			if fn, err := jit.Compile(p); err == nil {
+				compiled[p] = fn
+			}
+		default:
+			// Honour the admission-time decision but lower at hook-table
+			// build time: the closure must match the bytecode the
+			// interpreter fallback would run, even if the program object
+			// changed since LoadPolicy. A program that no longer lowers
+			// falls back to the VM (which will fault if it is corrupt).
+			if ch, ok := pol.Tiers[k]; ok && ch.Tier == jit.TierJIT {
+				if fn, err := jit.Compile(p); err == nil {
+					compiled[p] = fn
+				}
+			}
 		}
 	}
 	exec := func(p *policy.Program, ctx *policy.Ctx, t *task.T) (ret uint64, ok bool) {

@@ -22,6 +22,7 @@ import (
 	"path"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"concord/internal/faultinject"
@@ -30,6 +31,7 @@ import (
 	"concord/internal/obs"
 	"concord/internal/policy"
 	"concord/internal/policy/analysis"
+	"concord/internal/policy/jit"
 	"concord/internal/profile"
 	"concord/internal/topology"
 )
@@ -65,6 +67,24 @@ type Policy struct {
 	// load time: cost bounds, value ranges, map footprint, safety facts.
 	// Native policies have none (nothing to analyze).
 	Analysis map[policy.Kind]*analysis.Report
+	// Tiers records the execution-tier decision per program, made at load
+	// time from the analysis report (VM vs JIT closures, with the
+	// compiled closure when JIT was chosen). Attachments honour it unless
+	// a TierMode override forces one tier for ablation.
+	Tiers map[policy.Kind]jit.Choice
+}
+
+// Tier reports the admitted execution tier for one program kind
+// ("vm"/"jit", "" when the policy has no program of that kind).
+func (p *Policy) Tier(k policy.Kind) string {
+	c, ok := p.Tiers[k]
+	if !ok {
+		if _, has := p.Programs[k]; has {
+			return jit.TierVM.String()
+		}
+		return ""
+	}
+	return c.Tier.String()
 }
 
 // CostBound returns the policy's static worst-case cost bound in
@@ -122,9 +142,36 @@ func (p *Policy) decisionKinds() map[policy.Kind]bool {
 // Attachment records a policy installed on a lock. Every attachment is
 // supervised: runtime faults trip a per-attachment circuit breaker
 // whose behaviour is set by the framework's SupervisorConfig.
+// TierMode selects how an attachment picks each program's execution
+// tier: the admission-time choice, or a forced tier for ablation runs.
+type TierMode int32
+
+const (
+	// TierAuto honours the per-program admission decision (Policy.Tiers).
+	TierAuto TierMode = iota
+	// TierForceVM runs every program on the reference interpreter.
+	TierForceVM
+	// TierForceJIT runs every lowerable program on the JIT tier, even
+	// ones admission left on the VM.
+	TierForceJIT
+)
+
+func (m TierMode) String() string {
+	switch m {
+	case TierForceVM:
+		return "vm"
+	case TierForceJIT:
+		return "jit"
+	default:
+		return "auto"
+	}
+}
+
 type Attachment struct {
 	Lock   string
 	Policy string
+
+	tierMode atomic.Int32 // TierMode override, livepatch-switched by SetTier
 
 	sup *supervisor
 	// interference holds the cross-policy map conflicts detected at
@@ -173,6 +220,10 @@ func (a *Attachment) Quarantined() bool { return a.sup.State() == BreakerQuarant
 // CostBound returns the attached policy's static worst-case cost bound
 // in nanoseconds (0 for native policies, which carry no analysis).
 func (a *Attachment) CostBound() int64 { return a.sup.costBound }
+
+// TierMode reports the attachment's tier override (TierAuto honours the
+// per-program admission decision).
+func (a *Attachment) TierMode() TierMode { return TierMode(a.tierMode.Load()) }
 
 // WatchdogBudget reports the latency-watchdog budget this attachment's
 // hooks run under: the explicit LatencyBudget when configured, else
@@ -307,6 +358,7 @@ func (f *Framework) LoadPolicy(name string, progs ...*policy.Program) (*Policy, 
 		Programs: make(map[policy.Kind]*policy.Program, len(progs)),
 		Verify:   make(map[policy.Kind]policy.VerifyStats, len(progs)),
 		Analysis: make(map[policy.Kind]*analysis.Report, len(progs)),
+		Tiers:    make(map[policy.Kind]jit.Choice, len(progs)),
 	}
 	for _, prog := range progs {
 		if _, dup := p.Programs[prog.Kind]; dup {
@@ -323,6 +375,9 @@ func (f *Framework) LoadPolicy(name string, progs ...*policy.Program) (*Policy, 
 		p.Programs[prog.Kind] = prog
 		p.Verify[prog.Kind] = stats
 		p.Analysis[prog.Kind] = rep
+		// Tier selection from the analysis report (admission-time, so
+		// every attach of this policy shares one compiled artifact).
+		p.Tiers[prog.Kind] = jit.Choose(prog, rep)
 	}
 	return p, f.addPolicy(p)
 }
@@ -403,11 +458,13 @@ func (f *Framework) Compose(name, first, second string) (*Policy, error) {
 		Programs: make(map[policy.Kind]*policy.Program),
 		Verify:   make(map[policy.Kind]policy.VerifyStats),
 		Analysis: make(map[policy.Kind]*analysis.Report),
+		Tiers:    make(map[policy.Kind]jit.Choice),
 	}
 	for k, prog := range a.Programs {
 		p.Programs[k] = prog
 		p.Verify[k] = a.Verify[k]
 		p.Analysis[k] = a.Analysis[k]
+		p.Tiers[k] = a.Tiers[k]
 	}
 	for k, prog := range b.Programs {
 		if _, dup := p.Programs[k]; dup {
@@ -416,6 +473,7 @@ func (f *Framework) Compose(name, first, second string) (*Policy, error) {
 		p.Programs[k] = prog
 		p.Verify[k] = b.Verify[k]
 		p.Analysis[k] = b.Analysis[k]
+		p.Tiers[k] = b.Tiers[k]
 	}
 	p.Native = locks.ComposeHooks(a.Native, b.Native)
 	return p, f.addPolicy(p)
@@ -544,6 +602,29 @@ func (f *Framework) Detach(lockName string) (*livepatch.Patch, error) {
 		sup.cancel()
 	}
 	return st.hooked.HookSlot().Replace("detach", hooks), nil
+}
+
+// SetTier livepatches a lock's attachment to a new tier mode: TierAuto
+// restores the admission-time per-program choices, TierForceVM drops to
+// the interpreter on every program (ablation baseline), TierForceJIT
+// compiles everything lowerable. The returned patch's Wait is the
+// consistency point after which no execution runs the old tier.
+func (f *Framework) SetTier(lockName string, mode TierMode) (*livepatch.Patch, error) {
+	f.mu.Lock()
+	st, ok := f.locks[lockName]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchLock, lockName)
+	}
+	if st.attached == nil || st.sup == nil {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNothingAttached, lockName)
+	}
+	st.attached.tierMode.Store(int32(mode))
+	p := f.policies[st.attached.Policy]
+	hooks := f.effectiveHooks(st, p, st.sup.ad)
+	f.mu.Unlock()
+	return st.hooked.HookSlot().Replace("tier:"+mode.String(), hooks), nil
 }
 
 // StartProfiling attaches a profiler to the lock, composed with whatever
@@ -689,7 +770,14 @@ func (f *Framework) effectiveHooks(st *lockState, p *Policy, ad *adapter) *locks
 	var hooks *locks.Hooks
 	if p != nil {
 		if len(p.Programs) > 0 && ad != nil {
-			hooks = ad.hooks(p.Programs)
+			// The tier mode lives on the attachment so supervisor
+			// reattaches and profiling toggles rebuild with the same
+			// override in force.
+			mode := TierAuto
+			if st.attached != nil {
+				mode = st.attached.TierMode()
+			}
+			hooks = ad.hooks(p, mode)
 		}
 		hooks = locks.ComposeHooks(hooks, p.Native)
 		if hooks != nil {

@@ -7,8 +7,44 @@ import (
 	"concord/internal/locks"
 	"concord/internal/obs"
 	"concord/internal/policy"
+	"concord/internal/policy/jit"
 	"concord/internal/profile"
 )
+
+// attachmentTier summarises an attachment's effective execution tier
+// for telemetry rows: the forced tier with a "!" override marker, or
+// the admission-time per-program outcome ("jit", "vm", or "mixed";
+// "native" for pure Go hook tables).
+func attachmentTier(p *Policy, mode TierMode) string {
+	switch mode {
+	case TierForceVM:
+		return "vm!"
+	case TierForceJIT:
+		return "jit!"
+	}
+	if len(p.Programs) == 0 {
+		if p.Native != nil {
+			return "native"
+		}
+		return ""
+	}
+	jits, vms := 0, 0
+	for k := range p.Programs {
+		if ch, ok := p.Tiers[k]; ok && ch.Tier == jit.TierJIT {
+			jits++
+		} else {
+			vms++
+		}
+	}
+	switch {
+	case vms == 0:
+		return "jit"
+	case jits == 0:
+		return "vm"
+	default:
+		return "mixed"
+	}
+}
 
 // EnableTelemetry attaches a telemetry bundle to the framework. Every
 // registered lock (current and future) gets counting and wait/hold
@@ -182,6 +218,13 @@ func (f *Framework) collectVMStats(add func(obs.Sample)) {
 			counter("concord_vm_helper_calls_total", labels, st.HelperCalls.Load())
 			counter("concord_vm_map_ops_total", labels, st.MapOps.Load())
 			counter("concord_vm_faults_total", labels, st.Faults.Load())
+			counter("concord_policy_jit_runs_total", labels, st.JITRuns.Load())
+			jitOn := int64(0)
+			if ch, ok := p.Tiers[kind]; ok && ch.Tier == jit.TierJIT {
+				jitOn = 1
+			}
+			add(obs.Sample{Name: "concord_policy_jit_enabled", Kind: obs.KindGauge,
+				Labels: labels, Value: float64(jitOn)})
 		}
 	}
 }
@@ -194,11 +237,13 @@ func (f *Framework) LockRows() []obs.LockRow {
 	tel := f.tel
 	attached := make(map[string]string, len(f.locks))
 	costs := make(map[string]int64, len(f.locks))
+	tiers := make(map[string]string, len(f.locks))
 	for name, st := range f.locks {
 		if st.attached != nil {
 			attached[name] = st.attached.Policy
 			if p := f.policies[st.attached.Policy]; p != nil {
 				costs[name] = p.CostBound()
+				tiers[name] = attachmentTier(p, st.attached.TierMode())
 			}
 		}
 	}
@@ -216,6 +261,7 @@ func (f *Framework) LockRows() []obs.LockRow {
 		rows[i].Policy = attached[rows[i].Lock]
 		rows[i].Breaker = breakers[rows[i].Lock]
 		rows[i].CostBoundNS = costs[rows[i].Lock]
+		rows[i].Tier = tiers[rows[i].Lock]
 		if w, ok := windows[rows[i].Lock]; ok {
 			rows[i].RecentContentionPerMille = w.ContentionPerMille
 			rows[i].RecentWaitP99NS = w.WaitP99NS
@@ -232,12 +278,15 @@ type PolicyRow struct {
 	Native      bool     `json:"native,omitempty"`
 	CostBoundNS int64    `json:"cost_bound_ns,omitempty"`
 	AttachedTo  []string `json:"attached_to,omitempty"`
-	Runs        int64    `json:"vm_runs"`
-	Insns       int64    `json:"vm_instructions"`
-	HelperCalls int64    `json:"vm_helper_calls"`
-	MapOps      int64    `json:"vm_map_ops"`
-	Faults      int64    `json:"vm_faults"`
-	Maps        []MapRow `json:"maps,omitempty"`
+	// Tiers maps hook kind -> admitted execution tier ("vm"/"jit").
+	Tiers       map[string]string `json:"tiers,omitempty"`
+	Runs        int64             `json:"vm_runs"`
+	Insns       int64             `json:"vm_instructions"`
+	HelperCalls int64             `json:"vm_helper_calls"`
+	MapOps      int64             `json:"vm_map_ops"`
+	Faults      int64             `json:"vm_faults"`
+	JITRuns     int64             `json:"jit_runs"`
+	Maps        []MapRow          `json:"maps,omitempty"`
 }
 
 // MapRow is one policy map's data-plane summary.
@@ -268,6 +317,12 @@ func (f *Framework) PolicyRows() []PolicyRow {
 			}
 		}
 		sort.Strings(row.AttachedTo)
+		if len(p.Tiers) > 0 {
+			row.Tiers = make(map[string]string, len(p.Tiers))
+			for k := range p.Programs {
+				row.Tiers[k.String()] = p.Tier(k)
+			}
+		}
 		seen := make(map[policy.Map]bool)
 		for _, prog := range p.Programs {
 			st := prog.Stats()
@@ -276,6 +331,7 @@ func (f *Framework) PolicyRows() []PolicyRow {
 			row.HelperCalls += st.HelperCalls.Load()
 			row.MapOps += st.MapOps.Load()
 			row.Faults += st.Faults.Load()
+			row.JITRuns += st.JITRuns.Load()
 			for _, m := range prog.Maps {
 				if seen[m] {
 					continue

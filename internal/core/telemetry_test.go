@@ -181,6 +181,11 @@ func TestTelemetryFaultFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	att.Wait()
+	// The JIT closure was compiled at load time, before the corruption;
+	// force the interpreter tier so the corrupted bytecode actually runs.
+	if _, err := f.SetTier("l", TierForceVM); err != nil {
+		t.Fatal(err)
+	}
 
 	tk := task.New(f.Topology())
 	l.Lock(tk)

@@ -83,18 +83,29 @@ func NUMACmpProgram() *policy.Program {
 }
 
 // CBPFNumaCmp wraps the verified cBPF program as a simulator cmp_node
-// decision: every simulated shuffling comparison runs the real VM.
+// decision: every simulated shuffling comparison runs the real policy,
+// through the JIT closure tier when enabled (interpreter fallback).
 func CBPFNumaCmp() ksim.CmpFunc {
-	prog := NUMACmpProgram()
+	return cbpfCmp(NUMACmpProgram())
+}
+
+// cbpfCmp builds the simulator decision closure for a verified
+// cmp_node program, dispatching through execClosure so the sim series
+// exercise the same tier the -jit toggle selects. Sim results are
+// virtual-time deterministic either way — the tiers are proven
+// equivalent, so this only changes which executor's code path the
+// sweep keeps hot.
+func cbpfCmp(prog *policy.Program) ksim.CmpFunc {
 	layout := policy.LayoutFor(policy.KindCmpNode)
 	sSlot := layout.Slot("shuffler_socket")
 	cSlot := layout.Slot("curr_socket")
+	run := execClosure(prog)
 	return func(shuffler, curr *ksim.Proc) bool {
 		var words [32]uint64
 		ctx := policy.Ctx{Layout: layout, Words: words[:len(layout.Fields)]}
 		ctx.Words[sSlot] = uint64(shuffler.Socket)
 		ctx.Words[cSlot] = uint64(curr.Socket)
-		ret, err := policy.Exec(prog, &ctx, nil)
+		ret, err := run(&ctx, nil)
 		return err == nil && ret != 0
 	}
 }
@@ -133,20 +144,10 @@ func ProfiledNumaCmpProgram(exams policy.Map) *policy.Program {
 }
 
 // CBPFProfiledNumaCmp wraps ProfiledNumaCmpProgram as a simulator
-// cmp_node decision, counting examinations per socket in m as it goes.
+// cmp_node decision, counting examinations per socket in m as it goes,
+// through the JIT closure tier when enabled (interpreter fallback).
 func CBPFProfiledNumaCmp(m policy.Map) ksim.CmpFunc {
-	prog := ProfiledNumaCmpProgram(m)
-	layout := policy.LayoutFor(policy.KindCmpNode)
-	sSlot := layout.Slot("shuffler_socket")
-	cSlot := layout.Slot("curr_socket")
-	return func(shuffler, curr *ksim.Proc) bool {
-		var words [32]uint64
-		ctx := policy.Ctx{Layout: layout, Words: words[:len(layout.Fields)]}
-		ctx.Words[sSlot] = uint64(shuffler.Socket)
-		ctx.Words[cSlot] = uint64(curr.Socket)
-		ret, err := policy.Exec(prog, &ctx, nil)
-		return err == nil && ret != 0
-	}
+	return cbpfCmp(ProfiledNumaCmpProgram(m))
 }
 
 // Figure2a regenerates Figure 2(a): page_fault2 over Stock (neutral

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"concord/internal/policy"
+	"concord/internal/policy/jit"
+)
+
+// This file is the wall-clock microbenchmark of the hook dispatch
+// plane: the profiled-shuffler cmp_node policy (context fill + program
+// execution + a map_add on every fire) measured end to end through the
+// interpreter and through the JIT closure tier. The ksim cells in the
+// regression matrix run in virtual time, so policy execution cost is
+// invisible there by construction; these cells are where the JIT tier's
+// speedup (and its zero-allocation contract) is actually measured.
+
+// jitEnabled gates whether the cBPF wrappers and the hook-plane cells
+// execute policies through the JIT closure tier. lockbench -jit=off
+// flips it for ablation runs, turning the hook-jit cell into a second
+// interpreter measurement so the regression gate surfaces the delta.
+var jitEnabled = true
+
+// SetJIT toggles the JIT tier for subsequently built policy closures.
+func SetJIT(on bool) { jitEnabled = on }
+
+// execClosure returns the fastest available executor for a verified
+// program honoring the JIT toggle: the lowered closure when the tier
+// is on and the program lowers, else the interpreter.
+func execClosure(prog *policy.Program) policy.CompiledFn {
+	if jitEnabled {
+		if fn, err := jit.Compile(prog); err == nil {
+			return fn
+		}
+	}
+	return func(ctx *policy.Ctx, env policy.Env) (uint64, error) {
+		return policy.Exec(prog, ctx, env)
+	}
+}
+
+// HookFire is one hook-plane operation: fill a cmp_node context with
+// the shuffler's and candidate's sockets and run the policy, the same
+// work the adapter does per shuffler examination.
+type HookFire func(shufflerSocket, currSocket uint64) bool
+
+// HookPlaneFire builds the measured hook closure for one tier:
+// "vm" always dispatches through the interpreter, "jit" goes through
+// the JIT closure tier (subject to the -jit toggle). Each call builds
+// a fresh program and map arena so cells don't share profiling state.
+func HookPlaneFire(tier string) HookFire {
+	prog := ProfiledNumaCmpProgram(policy.NewHashMap("hookbench-exams", 8, 8, 16))
+	layout := policy.LayoutFor(policy.KindCmpNode)
+	sSlot := layout.Slot("shuffler_socket")
+	cSlot := layout.Slot("curr_socket")
+	run := func(ctx *policy.Ctx, env policy.Env) (uint64, error) {
+		return policy.Exec(prog, ctx, env)
+	}
+	if tier == "jit" {
+		run = execClosure(prog)
+	}
+	// The ctx buffer lives in the closure, not the call frame: an
+	// indirect CompiledFn call defeats escape analysis, and a
+	// heap-allocated ctx per fire would charge both tiers one malloc
+	// of pure measurement harness. HookFires are single-threaded.
+	ctx := policy.Ctx{Layout: layout, Words: make([]uint64, len(layout.Fields))}
+	return func(shufflerSocket, currSocket uint64) bool {
+		for i := range ctx.Words {
+			ctx.Words[i] = 0
+		}
+		ctx.Words[sSlot] = shufflerSocket
+		ctx.Words[cSlot] = currSocket
+		ret, err := run(&ctx, nil)
+		return err == nil && ret != 0
+	}
+}
+
+// HookPlaneOpsPerMSec times ops hook fires and returns throughput.
+// Sockets rotate through a small set so both branch outcomes and a few
+// map keys stay in play.
+func HookPlaneOpsPerMSec(fire HookFire, ops int) float64 {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		fire(uint64(i&3), uint64(i&7))
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(elapsed.Nanoseconds()) / 1e6)
+}
+
+// HookPlaneAllocsPerOp brackets a run of hook fires with mallocs
+// counters. The JIT tier's contract is 0.00 here — one heap allocation
+// per fire would dominate the win at hook frequencies.
+func HookPlaneAllocsPerOp(fire HookFire, ops int) float64 {
+	// Warm the map arena (first map_add per key allocates the entry).
+	for i := 0; i < 64; i++ {
+		fire(uint64(i&3), uint64(i&7))
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		fire(uint64(i&3), uint64(i&7))
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops)
+}

@@ -157,6 +157,22 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 		})
 	}
 
+	// Hook plane × execution tier: real-nanosecond cost of one policy
+	// hook fire (ctx fill + profiled-shuffler cmp_node + map_add),
+	// interpreter vs JIT closure tier. The ksim cells below run in
+	// virtual time where policy cost is invisible by construction;
+	// this is the pair the JIT speedup gate compares.
+	for _, tier := range []string{"vm", "jit"} {
+		fire := HookPlaneFire(tier)
+		b.Cells = append(b.Cells, perfstat.Cell{
+			Lock: "hook-" + tier, Workload: "hook_plane", Threads: 1,
+			AllocsPerOp: HookPlaneAllocsPerOp(fire, 4096),
+			OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+				return HookPlaneOpsPerMSec(fire, cfg.Ops*50)
+			}),
+		})
+	}
+
 	// ksim Figure-2 sweep: deterministic (seeded discrete-event runs), so
 	// any delta against the baseline is a behavioral change in the
 	// simulated algorithms or their policies, not noise.

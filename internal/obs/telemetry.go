@@ -254,6 +254,10 @@ type LockRow struct {
 	Lock    string `json:"lock"`
 	Policy  string `json:"policy,omitempty"`
 	Breaker string `json:"breaker,omitempty"`
+	// Tier is the attached policy's execution tier ("jit", "vm", "mixed",
+	// "native"; "jit!"/"vm!" when a SetTier override forces one), filled
+	// by core from the attachment.
+	Tier string `json:"tier,omitempty"`
 	// CostBoundNS is the attached policy's static worst-case cost bound
 	// (max across its programs), filled by core from the analysis report.
 	CostBoundNS  int64 `json:"cost_bound_ns,omitempty"`

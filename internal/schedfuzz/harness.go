@@ -385,6 +385,12 @@ func Replay(s *Schedule, opts ReplayOptions) (*Result, error) {
 	}
 	res.Schedule.Target = s.Target
 	res.Schedule.Params = s.Params
+	if plan := env.recordedPlan(); plan != nil {
+		// Mirror the recording path: a target that re-arms its fault
+		// plan on replay gets it re-recorded, so replayed logs stay
+		// byte-comparable to their canned originals.
+		res.Schedule.SetPlan(f.Seed(), plan)
+	}
 	if runErr != nil {
 		res.Reproduced = s.Failure != nil
 		schedstats.AddFailure()
