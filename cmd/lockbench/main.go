@@ -20,8 +20,9 @@
 //
 // Regression mode (the perfstat harness):
 //
-//	lockbench -regress [-baseline BENCH_5.json] [-regress-out BENCH_9.json]
+//	lockbench -regress [-baseline BENCH_5.json] [-regress-out BENCH_10.json]
 //	          [-runs 5] [-ops N] [-pooling on|off] [-slack 5] [-jit=on|off]
+//	          [-occ on|off|auto] [-require-cells]
 //	          [-profile] [-profile-rate N] [-profile-out contention.pb.gz]
 //
 // -profile arms sampled continuous contention profiling on every
@@ -31,6 +32,15 @@
 // -jit=off is the tier ablation: the hook_plane cells and the cBPF sim
 // series dispatch through the interpreter instead of the JIT closure
 // tier, so a baseline comparison quantifies what the JIT buys.
+//
+// -occ=off is the optimistic-tier ablation: the occ_read_heavy cell
+// runs every read through the pessimistic read lock instead of
+// sequence-validated speculation, so comparing the two baselines
+// quantifies what the tier buys (the gate wants ≥1.5×).
+//
+// -require-cells hardens the -baseline comparison: a cell present in
+// the baseline but absent from the new run ("MISSING" in the table)
+// fails the gate with exit 6 instead of silently shrinking the matrix.
 //
 // measures the lock × workload matrix (real locks on hashtable / lock2 /
 // page_fault2 plus the deterministic ksim Figure-2 sweep at simulated
@@ -42,7 +52,7 @@
 //
 // Schedule-fuzz mode (the internal/schedfuzz harness):
 //
-//	lockbench -schedfuzz lock-torture|map-churn|chaos|jit-churn|seq-lock|selftest
+//	lockbench -schedfuzz lock-torture|map-churn|map-resize|chaos|jit-churn|seq-lock|selftest
 //	          [-seed N] [-schedfuzz-iters N]
 //	          [-schedfuzz-strategy random|pct|targeted]
 //	          [-schedule-out f.json] [-flight-dir d] [-deadline 2m]
@@ -87,6 +97,8 @@ func main() {
 	pooling := flag.String("pooling", "on", "queue-node pooling during -regress: on | off")
 	slack := flag.Float64("slack", 5, "percent throughput drop tolerated before a significant delta fails the gate")
 	jitOn := flag.Bool("jit", true, "execute policies through the JIT closure tier during -regress and figures; -jit=off is the interpreter ablation")
+	occFlag := flag.String("occ", "on", "optimistic-tier mode for the occ_read_heavy -regress cell: on | off | auto; -occ=off is the pessimistic ablation")
+	requireCells := flag.Bool("require-cells", false, "fail -regress (exit 6) when a cell present in -baseline is missing from the new run")
 	profileOn := flag.Bool("profile", false, "run -regress with continuous contention profiling armed on every real-lock cell")
 	profileRate := flag.Int("profile-rate", 0, "1-in-N sampling rate for -profile (0 = default)")
 	profileOut := flag.String("profile-out", "", "write the -profile pprof contention profile here after the run")
@@ -128,6 +140,12 @@ func main() {
 	}
 
 	experiments.SetJIT(*jitOn)
+	if mode, ok := locks.OCCModeByName(*occFlag); ok {
+		experiments.SetOCC(mode)
+	} else {
+		fmt.Fprintf(os.Stderr, "lockbench: bad -occ %q (want on|off|auto)\n", *occFlag)
+		os.Exit(2)
+	}
 
 	if *regress {
 		cfg := regressConfigFromFlags(*runs, *workers, *ops, *pooling)
@@ -136,7 +154,7 @@ func main() {
 			cp.SetEnabled(true)
 			cfg.Profiler = cp
 		}
-		code := runRegress(cfg, *baseline, *regressOut, *slack)
+		code := runRegress(cfg, *baseline, *regressOut, *slack, *requireCells)
 		if cfg.Profiler != nil && *profileOut != "" {
 			data, err := cfg.Profiler.PprofProfile()
 			if err == nil {
@@ -250,8 +268,9 @@ func regressConfigFromFlags(runs, workers, ops int, pooling string) experiments.
 }
 
 // runRegress measures the matrix, writes the new baseline, and gates
-// against the old one. Exit codes: 0 pass, 1 I/O error, 4 regression.
-func runRegress(cfg experiments.RegressConfig, baselinePath, outPath string, slackPct float64) int {
+// against the old one. Exit codes: 0 pass, 1 I/O error, 4 regression,
+// 6 baseline cell missing (only with -require-cells).
+func runRegress(cfg experiments.RegressConfig, baselinePath, outPath string, slackPct float64, requireCells bool) int {
 	fmt.Fprintf(os.Stderr, "running regression matrix (runs=%d workers=%d ops=%d pooling=%v)...\n",
 		cfg.Runs, cfg.Threads, cfg.Ops, locks.NodePooling())
 	b := experiments.RunRegress(cfg)
@@ -278,10 +297,20 @@ func runRegress(cfg experiments.RegressConfig, baselinePath, outPath string, sla
 		fmt.Fprintln(os.Stderr, "lockbench:", err)
 		return 1
 	}
+	code := 0
+	if requireCells && perfstat.AnyMissing(results) {
+		// A vanished cell means the matrix shrank — a bench edit or a
+		// cell that stopped running — which a pure regression gate
+		// would wave through as a clean pass.
+		fmt.Fprintln(os.Stderr, "lockbench: MISSING baseline cells (see table) against", baselinePath)
+		code = 6
+	}
 	if perfstat.AnyRegression(results) {
 		fmt.Fprintln(os.Stderr, "lockbench: REGRESSION against", baselinePath)
 		return 4
 	}
-	fmt.Fprintln(os.Stderr, "lockbench: no significant regression against", baselinePath)
-	return 0
+	if code == 0 {
+		fmt.Fprintln(os.Stderr, "lockbench: no significant regression against", baselinePath)
+	}
+	return code
 }

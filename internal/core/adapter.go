@@ -122,6 +122,20 @@ func (e *taskEnv) LockStat(field uint64) uint64 {
 	return 0
 }
 
+// OCCSet implements policy.OCCSetter: it routes the occ_set helper's
+// promotion/demotion request to the attached lock's optimistic tier.
+// Like lockStats, the closure is swapped atomically — attachments to
+// locks without the tier leave it nil and the helper reports no change.
+func (e *taskEnv) OCCSet(on uint64) uint64 {
+	if e.ad == nil {
+		return 0
+	}
+	if fp := e.ad.occSet.Load(); fp != nil {
+		return (*fp)(on)
+	}
+	return 0
+}
+
 // adapter turns a set of verified programs into a locks.Hooks table.
 // One adapter backs one attach attempt; it owns fault bookkeeping.
 // faultFn fires at most once per adapter (the supervisor trip), so
@@ -141,6 +155,11 @@ type adapter struct {
 	// continuous profiling is enabled or disabled afterwards.
 	lockStats atomic.Pointer[func(uint64) uint64]
 
+	// occSet backs the occ_set helper for this attachment's lock (nil:
+	// helper reports no change). Set at attach time when the lock has an
+	// optimistic read tier.
+	occSet atomic.Pointer[func(uint64) uint64]
+
 	envs sync.Map // *task.T -> *taskEnv
 }
 
@@ -153,6 +172,15 @@ func (a *adapter) setLockStats(fn func(uint64) uint64) {
 		return
 	}
 	a.lockStats.Store(&fn)
+}
+
+// setOCCSet installs (or clears, with nil) the occ_set backing closure.
+func (a *adapter) setOCCSet(fn func(uint64) uint64) {
+	if fn == nil {
+		a.occSet.Store(nil)
+		return
+	}
+	a.occSet.Store(&fn)
 }
 
 func (a *adapter) envFor(t *task.T) *taskEnv {

@@ -54,6 +54,9 @@ var (
 	// blocking write-write map conflict with another attached policy,
 	// when SupervisorConfig.Interference is InterferenceReject.
 	ErrInterference = errors.New("concord: policies statically interfere through a shared map")
+	// ErrNoOCCTier rejects SetOCC on a lock without an optimistic read
+	// tier (only rwsem-family locks carry one).
+	ErrNoOCCTier = errors.New("concord: lock has no optimistic read tier")
 )
 
 // Policy is a named, verified set of hook programs (and/or a native Go
@@ -625,6 +628,37 @@ func (f *Framework) SetTier(lockName string, mode TierMode) (*livepatch.Patch, e
 	hooks := f.effectiveHooks(st, p, st.sup.ad)
 	f.mu.Unlock()
 	return st.hooked.HookSlot().Replace("tier:"+mode.String(), hooks), nil
+}
+
+// SetOCC flips a lock's optimistic read tier control mode (SetTier-style
+// ablation): OCCAuto hands promotion back to the attached policy, OCCOff
+// forces the pessimistic path, OCCOn forces speculation. The mode lives
+// on the lock instance itself, so it survives supervised reattach and
+// policy churn; the returned patch's Wait is the consistency point after
+// which every hook execution observes the new mode. Works with or
+// without an attached policy.
+func (f *Framework) SetOCC(lockName string, mode locks.OCCMode) (*livepatch.Patch, error) {
+	f.mu.Lock()
+	st, ok := f.locks[lockName]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchLock, lockName)
+	}
+	occ, ok := st.lock.(locks.OCCCapable)
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoOCCTier, lockName)
+	}
+	occ.OCCSetMode(mode)
+	var p *Policy
+	var ad *adapter
+	if st.attached != nil && st.sup != nil {
+		p = f.policies[st.attached.Policy]
+		ad = st.sup.ad
+	}
+	hooks := f.effectiveHooks(st, p, ad)
+	f.mu.Unlock()
+	return st.hooked.HookSlot().Replace("occ:"+mode.String(), hooks), nil
 }
 
 // StartProfiling attaches a profiler to the lock, composed with whatever

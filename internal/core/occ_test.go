@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"concord/internal/locks"
+	"concord/internal/policy"
+	"concord/internal/task"
+)
+
+// occSetProgram promotes the hooked lock on every acquisition.
+func occSetProgram(t testing.TB) *policy.Program {
+	t.Helper()
+	p, err := policy.Assemble("promote", policy.KindLockAcquired, `
+		mov  r1, 1
+		call occ_set
+		exit
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSetOCCModes(t *testing.T) {
+	f := newFramework()
+	l := locks.NewRWSem("rw")
+	if err := f.RegisterLock(l); err != nil {
+		t.Fatal(err)
+	}
+
+	// Works without a policy attached: the mode lives on the lock.
+	patch, err := f.SetOCC("rw", locks.OCCOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch.Wait()
+	if got := l.OCCGetMode(); got != locks.OCCOn {
+		t.Fatalf("mode = %v, want on", got)
+	}
+
+	tk := task.New(f.Topology())
+	var sink uint64
+	l.OptRead(tk, func() { sink++ })
+	if st := l.OCCStats(); st.Reads != 1 {
+		t.Fatalf("forced-on lock did not speculate: %+v", st)
+	}
+
+	if _, err := f.SetOCC("rw", locks.OCCOff); err != nil {
+		t.Fatal(err)
+	}
+	l.OptRead(tk, func() { sink++ })
+	if st := l.OCCStats(); st.Reads != 1 {
+		t.Fatalf("forced-off lock speculated: %+v", st)
+	}
+
+	// Locks without the tier are rejected explicitly.
+	if err := f.RegisterLock(locks.NewShflLock("shfl")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetOCC("shfl", locks.OCCOn); !errors.Is(err, ErrNoOCCTier) {
+		t.Fatalf("SetOCC on shfllock: %v", err)
+	}
+	if _, err := f.SetOCC("nope", locks.OCCOn); !errors.Is(err, ErrNoSuchLock) {
+		t.Fatalf("SetOCC on unknown lock: %v", err)
+	}
+}
+
+// TestOCCSetHelperRoutesToLock drives the full promotion loop: a
+// lock_acquired policy calling occ_set(1) is attached to an rwsem, one
+// acquisition runs the hook, and the lock instance comes out promoted.
+func TestOCCSetHelperRoutesToLock(t *testing.T) {
+	f := newFramework()
+	l := locks.NewRWSem("rw")
+	if err := f.RegisterLock(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadPolicy("promote", occSetProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	att, err := f.Attach("rw", "promote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Wait()
+
+	tk := task.New(f.Topology())
+	l.Lock(tk)
+	l.Unlock(tk)
+	st := l.OCCStats()
+	if !st.Promoted || st.Promotions != 1 {
+		t.Fatalf("occ_set did not reach the lock: %+v", st)
+	}
+
+	// Speculation now engages without any explicit mode flip.
+	var sink uint64
+	l.OptRead(tk, func() { sink++ })
+	if st := l.OCCStats(); st.Reads != 1 {
+		t.Fatalf("promoted lock did not speculate: %+v", st)
+	}
+}
+
+// TestSetOCCSurvivesReattach pins the ablation contract: the mode is
+// carried by the lock instance, so forcing the tier off wins over the
+// policy's occ_set and keeps winning after the attachment is rebuilt
+// (detach + fresh attach, the same path a supervised reattach takes
+// through newAdapter).
+func TestSetOCCSurvivesReattach(t *testing.T) {
+	f := newFramework()
+	l := locks.NewRWSem("rw")
+	if err := f.RegisterLock(l); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadPolicy("promote", occSetProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach("rw", "promote"); err != nil {
+		t.Fatal(err)
+	}
+	patch, err := f.SetOCC("rw", locks.OCCOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch.Wait()
+
+	if _, err := f.Detach("rw"); err != nil {
+		t.Fatal(err)
+	}
+	att, err := f.Attach("rw", "promote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att.Wait()
+
+	if got := l.OCCGetMode(); got != locks.OCCOff {
+		t.Fatalf("mode after reattach = %v, want off", got)
+	}
+	tk := task.New(f.Topology())
+	l.Lock(tk)
+	l.Unlock(tk)
+	if st := l.OCCStats(); st.Promotions != 0 {
+		t.Fatalf("occ_set promoted a forced-off lock: %+v", st)
+	}
+
+	// Handing control back to the policy re-enables promotion on the
+	// very next hook execution.
+	if _, err := f.SetOCC("rw", locks.OCCAuto); err != nil {
+		t.Fatal(err)
+	}
+	l.Lock(tk)
+	l.Unlock(tk)
+	if st := l.OCCStats(); st.Promotions != 1 || !st.Promoted {
+		t.Fatalf("auto mode did not restore policy control: %+v", st)
+	}
+}

@@ -117,12 +117,23 @@ func (f *Framework) collectMapStats(add func(obs.Sample)) {
 	for _, pm := range f.policyMaps() {
 		st := pm.stats.MapStats()
 		labels := []string{"policy", pm.policy, "map", pm.m.Name(), "kind", policy.MapKindOf(pm.m)}
+		// Occupancy is live entries only; dead (tombstoned) slots are
+		// reported separately so fill-ratio dashboards don't count
+		// deleted keys against capacity.
 		add(obs.Sample{Name: "concord_map_occupancy", Kind: obs.KindGauge,
 			Labels: labels, Value: float64(st.Occupancy)})
+		add(obs.Sample{Name: "concord_map_tombstones", Kind: obs.KindGauge,
+			Labels: labels, Value: float64(st.Tombstones)})
 		add(obs.Sample{Name: "concord_map_collisions_total", Kind: obs.KindCounter,
 			Labels: labels, Value: float64(st.Collisions)})
 		add(obs.Sample{Name: "concord_map_optimistic_retries_total", Kind: obs.KindCounter,
 			Labels: labels, Value: float64(st.Retries)})
+		add(obs.Sample{Name: "concord_map_resizes_total", Kind: obs.KindCounter,
+			Labels: labels, Value: float64(st.Resizes)})
+		add(obs.Sample{Name: "concord_map_migrated_slots_total", Kind: obs.KindCounter,
+			Labels: labels, Value: float64(st.Migrated)})
+		add(obs.Sample{Name: "concord_map_capacity", Kind: obs.KindGauge,
+			Labels: labels, Value: float64(st.Capacity)})
 	}
 }
 
@@ -183,6 +194,24 @@ func (f *Framework) collectLockRobustness(add func(obs.Sample)) {
 		if r, ok := s.lock.(interface{ ParkRescues() int64 }); ok {
 			add(obs.Sample{Name: "concord_park_rescues_total", Kind: obs.KindCounter,
 				Labels: []string{"lock", s.name}, Value: float64(r.ParkRescues())})
+		}
+		if o, ok := s.lock.(locks.OCCCapable); ok {
+			st := o.OCCStats()
+			labels := []string{"lock", s.name}
+			add(obs.Sample{Name: "concord_occ_reads_total", Kind: obs.KindCounter,
+				Labels: labels, Value: float64(st.Reads)})
+			add(obs.Sample{Name: "concord_occ_aborts_total", Kind: obs.KindCounter,
+				Labels: labels, Value: float64(st.Aborts)})
+			add(obs.Sample{Name: "concord_occ_promotions_total", Kind: obs.KindCounter,
+				Labels: labels, Value: float64(st.Promotions)})
+			add(obs.Sample{Name: "concord_occ_demotions_total", Kind: obs.KindCounter,
+				Labels: labels, Value: float64(st.Demotions)})
+			promoted := 0.0
+			if st.Promoted {
+				promoted = 1
+			}
+			add(obs.Sample{Name: "concord_occ_promoted", Kind: obs.KindGauge,
+				Labels: labels, Value: promoted})
 		}
 	}
 }
@@ -291,12 +320,18 @@ type PolicyRow struct {
 
 // MapRow is one policy map's data-plane summary.
 type MapRow struct {
-	Name       string `json:"name"`
-	Kind       string `json:"kind"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Occupancy counts live entries; Tombstones counts dead slots
+	// awaiting reuse or compaction. They are reported separately so the
+	// fill ratio reflects reachable keys, not deletion history.
 	Occupancy  int64  `json:"occupancy"`
+	Tombstones int64  `json:"tombstones"`
 	MaxEntries int    `json:"max_entries"`
+	Capacity   int    `json:"capacity,omitempty"`
 	Collisions uint64 `json:"collisions"`
 	Retries    uint64 `json:"optimistic_retries"`
+	Resizes    uint64 `json:"resizes,omitempty"`
 }
 
 // PolicyRows summarizes every loaded policy: hook kinds, attachment
@@ -341,6 +376,7 @@ func (f *Framework) PolicyRows() []PolicyRow {
 				if sp, ok := m.(policy.StatsProvider); ok {
 					st := sp.MapStats()
 					mr.Occupancy, mr.Collisions, mr.Retries = st.Occupancy, st.Collisions, st.Retries
+					mr.Tombstones, mr.Capacity, mr.Resizes = st.Tombstones, st.Capacity, st.Resizes
 				}
 				row.Maps = append(row.Maps, mr)
 			}

@@ -255,3 +255,77 @@ func TestEnableTelemetryLate(t *testing.T) {
 		t.Errorf("policies loaded gauge = %d", got)
 	}
 }
+
+// TestOCCAndResizeTelemetry pins the scrape surface PR 10 added: per-lock
+// optimistic-tier counters for OCC-capable locks and resize/tombstone/
+// capacity gauges for growable policy maps.
+func TestOCCAndResizeTelemetry(t *testing.T) {
+	f := newFramework()
+	tel := obs.NewTelemetry()
+	f.EnableTelemetry(tel)
+	defer f.EnableTelemetry(nil)
+
+	l := locks.NewRWSem("occ_rw")
+	if err := f.RegisterLock(l); err != nil {
+		t.Fatal(err)
+	}
+	patch, err := f.SetOCC("occ_rw", locks.OCCOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch.Wait()
+	tk := task.New(f.Topology())
+	var sink uint64
+	l.OptRead(tk, func() { sink++ })
+	l.Lock(tk)
+	l.Unlock(tk)
+	// The promoted gauge tracks the policy-driven auto-mode bit, which a
+	// forced mode bypasses — flip to auto and promote to pin it too.
+	l.OCCSetMode(locks.OCCAuto)
+	if !l.OCCPromote(true) {
+		t.Fatal("OCCPromote(true) refused in auto mode")
+	}
+
+	// A loaded policy carrying a growable map, grown past preallocation.
+	m := policy.NewGrowableHashMap("gmap", 8, 8, 4)
+	prog, err := policy.Assemble("noop", policy.KindLockAcquired, `
+		ldmap r1, gmap
+		mov   r0, 0
+		exit
+	`, map[string]policy.Map{"gmap": m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.LoadPolicy("grow", prog); err != nil {
+		t.Fatal(err)
+	}
+	var key [8]byte
+	for i := 0; i < 32; i++ {
+		key[0] = byte(i)
+		if err := m.Update(key[:], []uint64{1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := tel.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if got := promValue(t, out, `concord_occ_reads_total{lock="occ_rw"}`); got != 1 {
+		t.Errorf("occ reads = %v, want 1", got)
+	}
+	if got := promValue(t, out, `concord_occ_promoted{lock="occ_rw"}`); got != 1 {
+		t.Errorf("occ promoted gauge = %v, want 1 (mode is forced on)", got)
+	}
+	if got := promValue(t, out, "concord_map_resizes_total"); got < 1 {
+		t.Errorf("map resizes = %v, want >= 1 after growth", got)
+	}
+	if got := promValue(t, out, "concord_map_capacity"); got <= 4 {
+		t.Errorf("map capacity = %v, want > 4 after growth", got)
+	}
+	if got := promValue(t, out, "concord_map_occupancy"); got != 32 {
+		t.Errorf("map occupancy = %v, want 32", got)
+	}
+}

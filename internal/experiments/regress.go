@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -20,6 +21,17 @@ import (
 // sweep at simulated 8/16/80 cores. Each cell is measured perfstat.Runs
 // times; real-lock cells also carry a contended allocs/op probe, the
 // number the qnode-pooling work drives to zero.
+
+// occMode is the optimistic-tier mode the occ_read_heavy cell forces
+// on its lock (`lockbench -occ`). On by default so the shipped baseline
+// records the tier's throughput; Off re-measures the same workload
+// through the pessimistic read lock — the ablation pair the ≥1.5×
+// speedup gate compares.
+var occMode = locks.OCCOn
+
+// SetOCC selects the optimistic-tier mode for subsequent RunRegress
+// sweeps.
+func SetOCC(m locks.OCCMode) { occMode = m }
 
 // RegressConfig shapes one RunRegress sweep.
 type RegressConfig struct {
@@ -131,6 +143,62 @@ func RunRegress(cfg RegressConfig) *perfstat.Baseline {
 				workloads.PageFault2Config{
 					Workers: cfg.Threads, FaultsPerWorker: cfg.Ops, WriterEvery: 64,
 				}).OpsPerMSec()
+		}),
+	})
+
+	// Optimistic read tier × read-dominated mix: the same rwsem class as
+	// page_fault2, but every read goes through OptRead, so the cell
+	// measures what speculation buys over the pessimistic reader path
+	// (or, with `-occ off`, what the ablation costs). The alloc probe
+	// must read 0.00: a validated speculative section touches no lock
+	// word and allocates nothing.
+	mkOCC := func() *locks.RWSem {
+		l := locks.NewRWSem("bench-occ")
+		l.OCCSetMode(occMode)
+		return l
+	}
+	occProbe := workloads.RunOCCReadHeavy(mkOCC(), topo, workloads.OCCReadHeavyConfig{
+		Workers: cfg.Threads, OpsPerWorker: cfg.Ops, MeasureAlloc: true,
+	})
+	b.Cells = append(b.Cells, perfstat.Cell{
+		Lock: "rwsem-occ", Workload: "occ_read_heavy", Threads: cfg.Threads,
+		AllocsPerOp: occProbe.AllocsPerOp,
+		OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+			return workloads.RunOCCReadHeavy(mkOCC(), topo, workloads.OCCReadHeavyConfig{
+				Workers: cfg.Threads, OpsPerWorker: cfg.Ops * 4,
+			}).OpsPerMSec()
+		}),
+	})
+
+	// Growable map × distinct-key churn: a full 2^20 distinct keys
+	// stream through a map preallocated for 1024 entries, live set
+	// bounded by a per-worker deletion window. Preallocation alone is
+	// off by three orders of magnitude here — the cell only completes
+	// because online resize grows the table and folds tombstone
+	// compaction into migration. A map error is a harness failure, not
+	// a slow cell: no baseline is produced.
+	mkChurn := func() policy.Map {
+		return policy.NewGrowableHashMap("bench-churn", 8, 8, 1024)
+	}
+	var churnAllocs float64
+	churnRun := func(measureAlloc bool) float64 {
+		r, err := workloads.RunMapResizeChurn(mkChurn(), workloads.MapChurnConfig{
+			Workers: cfg.Threads, MeasureAlloc: measureAlloc,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: map_resize_churn failed: %v", err))
+		}
+		if measureAlloc {
+			churnAllocs = r.AllocsPerOp
+		}
+		return r.OpsPerMSec()
+	}
+	churnRun(true)
+	b.Cells = append(b.Cells, perfstat.Cell{
+		Lock: "map-growable", Workload: "map_resize_churn", Threads: cfg.Threads,
+		AllocsPerOp: churnAllocs,
+		OpsPerMSec: perfstat.Measure(cfg.Runs, true, func() float64 {
+			return churnRun(false)
 		}),
 	})
 

@@ -1,0 +1,194 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"concord/internal/task"
+	"concord/internal/topology"
+)
+
+// Optimistic read tier: speculation engages per mode/promotion state,
+// validated sections never observe a half-applied write, aborts fall
+// back to the pessimistic read lock, and the wrapper-level sequence on
+// SwitchableRWLock keeps speculation sound across implementation
+// switches.
+
+func occTask() *task.T { return task.New(topology.New(1, 2)) }
+
+func TestOptReadModes(t *testing.T) {
+	tk := occTask()
+	s := NewRWSem("occ-modes")
+	var data uint64 = 42
+
+	// Auto + unpromoted: pessimistic, no speculative read counted.
+	var got uint64
+	s.OptRead(tk, func() { got = atomic.LoadUint64(&data) })
+	if got != 42 {
+		t.Fatalf("read %d", got)
+	}
+	if st := s.OCCStats(); st.Reads != 0 {
+		t.Fatalf("unpromoted lock speculated: %+v", st)
+	}
+
+	// Promote: speculative reads count.
+	if !s.OCCPromote(true) {
+		t.Fatal("promotion did not take")
+	}
+	if s.OCCPromote(true) {
+		t.Fatal("re-promotion reported a change")
+	}
+	s.OptRead(tk, func() { got = atomic.LoadUint64(&data) })
+	st := s.OCCStats()
+	if st.Reads != 1 || !st.Promoted || st.Promotions != 1 {
+		t.Fatalf("promoted stats: %+v", st)
+	}
+
+	// Forced off overrides promotion and ignores further requests.
+	s.OCCSetMode(OCCOff)
+	s.OptRead(tk, func() { got = atomic.LoadUint64(&data) })
+	if st := s.OCCStats(); st.Reads != 1 {
+		t.Fatalf("OCCOff still speculated: %+v", st)
+	}
+	if s.OCCPromote(false) {
+		t.Fatal("promotion request honoured outside auto mode")
+	}
+
+	// Forced on speculates regardless of the (still-promoted) state.
+	s.OCCSetMode(OCCOn)
+	s.OptRead(tk, func() { got = atomic.LoadUint64(&data) })
+	if st := s.OCCStats(); st.Reads != 2 {
+		t.Fatalf("OCCOn did not speculate: %+v", st)
+	}
+
+	// Demote path bumps the demotion counter.
+	s.OCCSetMode(OCCAuto)
+	if !s.OCCPromote(false) {
+		t.Fatal("demotion did not take")
+	}
+	if st := s.OCCStats(); st.Demotions != 1 || st.Promoted {
+		t.Fatalf("demotion stats: %+v", st)
+	}
+}
+
+func TestOptReadAbortsWhileWriterHeld(t *testing.T) {
+	tk := occTask()
+	wk := occTask()
+	s := NewRWSem("occ-abort")
+	s.OCCSetMode(OCCOn)
+	var data uint64
+
+	s.Lock(wk)
+	atomic.StoreUint64(&data, 7)
+	var got uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Seq is odd for the whole budget, so every attempt aborts and
+		// the read falls back to RLock — which blocks until the writer
+		// releases, proving the fallback is the pessimistic path.
+		s.OptRead(tk, func() { got = atomic.LoadUint64(&data) })
+	}()
+	st := s.OCCStats()
+	for st.Aborts < occRetryBudget {
+		st = s.OCCStats()
+	}
+	s.Unlock(wk)
+	<-done
+	if got != 7 {
+		t.Fatalf("fallback read %d, want 7", got)
+	}
+	st = s.OCCStats()
+	if st.Reads != 0 || st.Aborts < occRetryBudget {
+		t.Fatalf("abort stats: %+v", st)
+	}
+}
+
+// TestOptReadNeverTorn hammers a promoted rwsem with a writer updating
+// two words that must stay equal, and speculative readers asserting they
+// never validate a torn pair. Runs under -race in CI.
+func TestOptReadNeverTorn(t *testing.T) {
+	s := NewRWSem("occ-torn")
+	s.OCCSetMode(OCCOn)
+	var a, b uint64
+
+	const iters = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wk := occTask()
+		for i := uint64(1); i <= iters; i++ {
+			s.Lock(wk)
+			atomic.StoreUint64(&a, i)
+			atomic.StoreUint64(&b, i)
+			s.Unlock(wk)
+		}
+	}()
+	var torn atomic.Int64
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rk := occTask()
+			for i := 0; i < iters; i++ {
+				var x, y uint64
+				s.OptRead(rk, func() {
+					x = atomic.LoadUint64(&a)
+					y = atomic.LoadUint64(&b)
+				})
+				if x != y {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d validated sections observed a torn pair", n)
+	}
+	st := s.OCCStats()
+	if st.Reads == 0 {
+		t.Fatalf("no speculative reads completed: %+v", st)
+	}
+}
+
+// TestSwitchableOptReadAcrossSwitch proves the wrapper-level sequence
+// survives an implementation switch: speculation keeps validating (and
+// keeps being invalidated by writers) after the inner lock is replaced.
+func TestSwitchableOptReadAcrossSwitch(t *testing.T) {
+	tk := occTask()
+	wk := occTask()
+	s := NewSwitchableRWLock("occ-switch", NewRWSem("occ-switch-a"))
+	s.OCCSetMode(OCCOn)
+	var data uint64
+
+	s.OptRead(tk, func() { _ = atomic.LoadUint64(&data) })
+	if st := s.OCCStats(); st.Reads != 1 {
+		t.Fatalf("pre-switch stats: %+v", st)
+	}
+
+	s.Switch(NewRWSem("occ-switch-b")).Wait()
+
+	// Writer through the new implementation still bumps the wrapper seq.
+	s.Lock(wk)
+	if st := s.OCCStats(); st.Mode != OCCOn {
+		t.Fatalf("mode lost across switch: %+v", st)
+	}
+	before := s.OCCStats().Aborts
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.OptRead(tk, func() { _ = atomic.LoadUint64(&data) })
+	}()
+	for s.OCCStats().Aborts < before+occRetryBudget {
+	}
+	s.Unlock(wk)
+	<-done
+
+	s.OptRead(tk, func() { _ = atomic.LoadUint64(&data) })
+	if st := s.OCCStats(); st.Reads != 2 {
+		t.Fatalf("post-switch stats: %+v", st)
+	}
+}

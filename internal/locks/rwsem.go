@@ -78,6 +78,7 @@ func (w *semWaiter) grantAndWake() {
 // interval.
 type RWSem struct {
 	profBase
+	occ     occState // optimistic read tier (occ.go)
 	mu      sync.Mutex
 	readers int
 	writer  bool
@@ -156,6 +157,7 @@ func (s *RWSem) Lock(t *task.T) {
 	if !s.writer && s.readers == 0 {
 		s.writer = true
 		s.mu.Unlock()
+		s.occ.beginWrite()
 		s.noteAcquired(t, start, false)
 		return
 	}
@@ -165,6 +167,7 @@ func (s *RWSem) Lock(t *task.T) {
 	s.mu.Unlock()
 	s.noteContended(t, start)
 	s.await(t, w)
+	s.occ.beginWrite()
 	s.noteAcquired(t, start, false)
 }
 
@@ -178,12 +181,14 @@ func (s *RWSem) TryLock(t *task.T) bool {
 	}
 	s.writer = true
 	s.mu.Unlock()
+	s.occ.beginWrite()
 	s.noteAcquired(t, start, false)
 	return true
 }
 
 // Unlock implements Lock (writer side).
 func (s *RWSem) Unlock(t *task.T) {
+	s.occ.endWrite() // close the write section while exclusion is still held
 	s.noteRelease(t, false)
 	s.mu.Lock()
 	if !s.writer {

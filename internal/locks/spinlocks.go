@@ -64,6 +64,26 @@ func (p *profBase) noteAcquired(t *task.T, startNS int64, reader bool) {
 	t.EnterCS(now)
 }
 
+// noteOptRead reports a validated speculative read section to the
+// profiling plane as a zero-wait read acquisition. It deliberately skips
+// the task's held-lock accounting (no lock is held, so there is no
+// ordering edge to record) — its only job is keeping the profiler's
+// window read share truthful after a lock is promoted to the optimistic
+// tier, so the promotion policy's signal doesn't collapse the moment the
+// reads it is based on stop taking the lock.
+func (p *profBase) noteOptRead(t *task.T) {
+	if h, release := p.getHooks(); h != nil {
+		if h.OnAcquired != nil {
+			emit(t, h.OnAcquired, Event{
+				LockID: p.id, Task: t, NowNS: p.now(), Reader: true,
+			})
+		}
+		release.Release()
+	} else {
+		release.Release()
+	}
+}
+
 func (p *profBase) noteRelease(t *task.T, reader bool) {
 	now := p.now()
 	t.ExitCS(now)

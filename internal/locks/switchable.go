@@ -29,6 +29,7 @@ var ErrSwitchAborted = errors.New("locks: implementation switch aborted (drain d
 // fully drained — at which point it can be torn down.
 type SwitchableRWLock struct {
 	hookable
+	occ  occState // optimistic read tier at wrapper level (occ.go)
 	slot *livepatch.Slot[rwImpl]
 
 	// held maps a task to its pinned acquisition state. A task may hold
@@ -213,6 +214,7 @@ func (s *SwitchableRWLock) unpin(t *task.T, reader bool) *pinned {
 func (s *SwitchableRWLock) Lock(t *task.T) {
 	p := s.pin(t, false)
 	p.impl.Lock(t)
+	s.occ.beginWrite()
 	t.NoteAcquired(s.id)
 }
 
@@ -245,6 +247,7 @@ func (s *SwitchableRWLock) TryLock(t *task.T) bool {
 		p.release.Release()
 		return false
 	}
+	s.occ.beginWrite()
 	t.NoteAcquired(s.id)
 	return true
 }
@@ -252,6 +255,7 @@ func (s *SwitchableRWLock) TryLock(t *task.T) bool {
 // Unlock implements Lock.
 func (s *SwitchableRWLock) Unlock(t *task.T) {
 	p := s.unpin(t, false)
+	s.occ.endWrite() // close the write section while exclusion is still held
 	t.NoteReleased(s.id)
 	p.impl.Unlock(t)
 	p.release.Release()

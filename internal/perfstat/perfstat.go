@@ -204,10 +204,13 @@ type CellResult struct {
 	Old     *Summary
 	OldAllc float64
 	Delta   Delta
-	Verdict string // "ok", "faster", "SLOWER", "ALLOCS", "new"
+	Verdict string // "ok", "faster", "SLOWER", "ALLOCS", "new", "MISSING"
 }
 
-// Regressed reports whether this cell fails the gate.
+// Regressed reports whether this cell fails the throughput/allocs gate.
+// A MISSING cell is not a regression by itself (renamed matrices would
+// deadlock CI otherwise); callers that want a fixed matrix fail on
+// AnyMissing separately (lockbench -require-cells).
 func (r CellResult) Regressed() bool {
 	return r.Verdict == "SLOWER" || r.Verdict == "ALLOCS"
 }
@@ -217,10 +220,22 @@ func (r CellResult) Regressed() bool {
 // slackPct percent — the slack absorbs environment drift benchstat
 // can't, since CI baselines come from other machines. It fails
 // ("ALLOCS") when allocs/op grew beyond noise. Cells absent from the
-// old baseline are reported as "new" and pass.
+// old baseline are reported as "new" and pass. Cells present in old but
+// absent from new are reported as "MISSING" — previously they were
+// silently dropped, so a baseline cell disappearing (a bench matrix
+// edit, a cell that stopped running) looked like a clean pass.
 func CompareBaselines(old, new *Baseline, slackPct float64) []CellResult {
 	oldIdx := old.Index()
+	newIdx := new.Index()
 	out := make([]CellResult, 0, len(new.Cells))
+	for _, o := range old.Cells {
+		if _, ok := newIdx[o.Key()]; ok {
+			continue
+		}
+		os := o.OpsPerMSec
+		out = append(out, CellResult{Cell: o, Old: &os, OldAllc: o.AllocsPerOp,
+			Verdict: "MISSING"})
+	}
 	for _, c := range new.Cells {
 		r := CellResult{Cell: c, Verdict: "ok"}
 		o, seen := oldIdx[c.Key()]
@@ -254,6 +269,17 @@ func CompareBaselines(old, new *Baseline, slackPct float64) []CellResult {
 func AnyRegression(results []CellResult) bool {
 	for _, r := range results {
 		if r.Regressed() {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyMissing reports whether any baseline cell disappeared from the new
+// measurement (the -require-cells gate).
+func AnyMissing(results []CellResult) bool {
+	for _, r := range results {
+		if r.Verdict == "MISSING" {
 			return true
 		}
 	}

@@ -169,3 +169,41 @@ func TestFormatResults(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareBaselinesMissingCells(t *testing.T) {
+	old := testBaseline(1.0, 100, 101, 99)
+	newb := testBaseline(0, 100, 100)
+	newb.Cells[0].Lock = "renamed"
+	res := CompareBaselines(old, newb, 5)
+	if len(res) != 2 {
+		t.Fatalf("want MISSING + new, got %+v", res)
+	}
+	// Sorted by key: "mcs/..." precedes "renamed/...".
+	missing := res[0]
+	if missing.Verdict != "MISSING" || missing.Cell.Lock != "mcs" {
+		t.Fatalf("vanished cell not flagged: %+v", missing)
+	}
+	// The old measurement rides along for the delta table...
+	if missing.Old == nil || missing.Old.Mean != 100 {
+		t.Fatalf("MISSING row lost the old summary: %+v", missing)
+	}
+	// ...but a vanished cell is not a regression by itself — only the
+	// opt-in gate fails on it.
+	if missing.Regressed() || AnyRegression(res) {
+		t.Fatalf("MISSING treated as regression: %+v", res)
+	}
+	if !AnyMissing(res) {
+		t.Fatal("AnyMissing missed the vanished cell")
+	}
+	if AnyMissing(CompareBaselines(old, old, 5)) {
+		t.Fatal("AnyMissing fired on identical matrices")
+	}
+
+	var sb strings.Builder
+	if err := FormatResults(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Fatalf("table does not render MISSING:\n%s", sb.String())
+	}
+}

@@ -63,11 +63,16 @@ func FormatResults(w io.Writer, results []CellResult) error {
 				}
 			}
 		}
+		newMean, newAllc := fmt.Sprintf("%.1f±%.1f", c.OpsPerMSec.Mean, c.OpsPerMSec.CI95()),
+			fmtAllocs(c.AllocsPerOp)
+		if r.Verdict == "MISSING" {
+			// r.Cell carries the old measurement; there is no new one.
+			newMean, newAllc, delta = "-", "-", "-"
+		}
 		if _, err := fmt.Fprintf(w, "%-14s %-12s %4d %14s %14s %9s %8s %8s  %s\n",
 			c.Lock, c.Workload, c.Threads,
-			oldMean,
-			fmt.Sprintf("%.1f±%.1f", c.OpsPerMSec.Mean, c.OpsPerMSec.CI95()),
-			delta, oldAllc, fmtAllocs(c.AllocsPerOp), r.Verdict); err != nil {
+			oldMean, newMean,
+			delta, oldAllc, newAllc, r.Verdict); err != nil {
 			return err
 		}
 	}

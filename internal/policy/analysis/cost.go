@@ -46,6 +46,7 @@ var HelperCosts = map[policy.HelperID]int64{
 	policy.HelperRand:      10,
 	policy.HelperTrace:     15,
 	policy.HelperLockStats: 12, // two atomic loads + a snapshot field read
+	policy.HelperOCCSet:    10, // one mode load + one CAS on the tier state
 }
 
 // MapKindCost prices the four map helpers for one concrete map kind. A

@@ -29,6 +29,7 @@ const (
 	HelperRand                          // () -> pseudo-random u64
 	HelperTrace                         // (val) -> 0; records val for debugging
 	HelperLockStats                     // (field) -> windowed profile signal of the hooked lock
+	HelperOCCSet                        // (on) -> 1 if promotion state changed; optimistic-tier control
 
 	numHelpers
 )
@@ -46,6 +47,7 @@ var helperNames = map[HelperID]string{
 	HelperRand:      "rand",
 	HelperTrace:     "trace",
 	HelperLockStats: "lock_stats_read",
+	HelperOCCSet:    "occ_set",
 }
 
 // String implements fmt.Stringer.
@@ -114,6 +116,9 @@ var helperSpecs = map[HelperID]helperSpec{
 	HelperRand:      {HelperRand, "rand", nil, retScalar, true},
 	HelperTrace:     {HelperTrace, "trace", []argKind{argScalar}, retScalar, true},
 	HelperLockStats: {HelperLockStats, "lock_stats_read", []argKind{argScalar}, retScalar, true},
+	// occ_set mutates lock state, so it is barred from the bounded
+	// shuffler fast path like the other mutation helpers.
+	HelperOCCSet: {HelperOCCSet, "occ_set", []argKind{argScalar}, retScalar, false},
 }
 
 // helperAllowed reports whether helper h may be called from programs of
@@ -162,6 +167,17 @@ type LockStatReader interface {
 	LockStat(field uint64) uint64
 }
 
+// OCCSetter is the optional Env extension behind occ_set: environments
+// attached to a lock with an optimistic read tier implement it to route
+// the policy's promotion/demotion decision to that lock instance. On
+// plain environments the helper returns 0 ("no change"), so occ-gating
+// policies are inert rather than invalid where the tier is absent.
+type OCCSetter interface {
+	// OCCSet requests promotion (on != 0) or demotion (on == 0) of the
+	// hooked lock's optimistic tier; returns 1 if the state changed.
+	OCCSet(on uint64) uint64
+}
+
 // FuncEnv is an Env assembled from optional function fields; nil fields
 // fall back to zero values. It is the simplest way to build custom
 // environments in tests and tools.
@@ -175,6 +191,8 @@ type FuncEnv struct {
 	TraceFn    func(uint64)
 	// LockStatFn backs the lock_stats_read helper (nil reads 0).
 	LockStatFn func(field uint64) uint64
+	// OCCSetFn backs the occ_set helper (nil returns 0).
+	OCCSetFn func(on uint64) uint64
 }
 
 // NowNS implements Env.
@@ -240,6 +258,14 @@ func (e *FuncEnv) LockStat(field uint64) uint64 {
 	return 0
 }
 
+// OCCSet implements OCCSetter.
+func (e *FuncEnv) OCCSet(on uint64) uint64 {
+	if e.OCCSetFn != nil {
+		return e.OCCSetFn(on)
+	}
+	return 0
+}
+
 // TestEnv is a deterministic Env that records traced values; handy in
 // tests and in concordctl's dry-run mode.
 type TestEnv struct {
@@ -251,6 +277,9 @@ type TestEnv struct {
 	randSeed uint64
 	// LockStats seeds lock_stats_read fields (field ID -> value).
 	LockStats map[uint64]uint64
+	// OCCState records the last occ_set request (1+on); zero means the
+	// helper never ran. Reads count state changes like a real lock.
+	OCCState atomic.Uint64
 
 	mu     sync.Mutex
 	traces []uint64
@@ -289,6 +318,20 @@ func (e *TestEnv) Trace(v uint64) {
 
 // LockStat implements LockStatReader from the LockStats map.
 func (e *TestEnv) LockStat(field uint64) uint64 { return e.LockStats[field] }
+
+// OCCSet implements OCCSetter with promote/demote edge semantics: the
+// return value is 1 exactly when the request flipped the recorded state,
+// mirroring OCCCapable.OCCPromote on a real lock.
+func (e *TestEnv) OCCSet(on uint64) uint64 {
+	want := uint64(1)
+	if on != 0 {
+		want = 2
+	}
+	if e.OCCState.Swap(want) == want {
+		return 0
+	}
+	return 1
+}
 
 // Traces returns a copy of the values traced so far.
 func (e *TestEnv) Traces() []uint64 {

@@ -137,6 +137,7 @@ type compiler struct {
 	steps []step
 
 	usesLockStats bool
+	usesOCCSet    bool
 }
 
 func (c *compiler) compile() error {
@@ -434,6 +435,12 @@ func (c *compiler) transferCall(pc int, st absState) error {
 			return errUnsupportedf(pc, "%s: R1 is %s", h, st[policy.R1].kind)
 		}
 		c.usesLockStats = true
+		out = absVal{kind: kScalar}
+	case policy.HelperOCCSet:
+		if st[policy.R1].kind != kScalar {
+			return errUnsupportedf(pc, "%s: R1 is %s", h, st[policy.R1].kind)
+		}
+		c.usesOCCSet = true
 		out = absVal{kind: kScalar}
 	default:
 		return errUnsupportedf(pc, "unknown helper %d", int64(h))

@@ -155,6 +155,22 @@ func TestDiffCorePrograms(t *testing.T) {
 				ReturnReg(policy.R6)
 			return b
 		}},
+		{"occ-set", func() *policy.Builder {
+			// Promote, promote again (no change), demote: the edge
+			// semantics of the tier CAS must agree across tiers.
+			b := policy.NewBuilder("occ-set", policy.KindLockAcquire)
+			b.MovImm(policy.R1, 1).
+				Call(policy.HelperOCCSet).
+				MovReg(policy.R6, policy.R0).
+				MovImm(policy.R1, 1).
+				Call(policy.HelperOCCSet).
+				ALUReg(policy.OpAddReg, policy.R6, policy.R0).
+				MovImm(policy.R1, 0).
+				Call(policy.HelperOCCSet).
+				ALUReg(policy.OpAddReg, policy.R6, policy.R0).
+				ReturnReg(policy.R6)
+			return b
+		}},
 		{"hash-add-lookup", func() *policy.Builder {
 			m := policy.NewHashMap("counts", 8, 8, 64)
 			b := policy.NewBuilder("hash-add-lookup", policy.KindLockAcquire)

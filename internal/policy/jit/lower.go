@@ -24,6 +24,7 @@ type mach struct {
 	ctx   *policy.Ctx
 	env   policy.Env
 	lsr   policy.LockStatReader
+	ocs   policy.OCCSetter
 
 	insns   int64
 	helpers int64
@@ -66,6 +67,7 @@ func Compile(p *policy.Program) (policy.CompiledFn, error) {
 	name := p.Name
 	kind := p.Kind
 	usesLS := c.usesLockStats
+	usesOCC := c.usesOCCSet
 	return func(ctx *policy.Ctx, env policy.Env) (uint64, error) {
 		if env == nil {
 			env = policy.DefaultEnv
@@ -87,6 +89,9 @@ func Compile(p *policy.Program) (policy.CompiledFn, error) {
 		if usesLS {
 			m.lsr, _ = env.(policy.LockStatReader)
 		}
+		if usesOCC {
+			m.ocs, _ = env.(policy.OCCSetter)
+		}
 		m.regs[policy.R1] = 0
 		m.regs[policy.RFP] = 0
 		m.insns, m.helpers, m.mapOps = 0, 0, 0
@@ -100,7 +105,7 @@ func Compile(p *policy.Program) (policy.CompiledFn, error) {
 		if m.mapOps != 0 {
 			st.MapOps.Add(m.mapOps)
 		}
-		m.ctx, m.env, m.lsr = nil, nil, nil
+		m.ctx, m.env, m.lsr, m.ocs = nil, nil, nil, nil
 		machPool.Put(m)
 		if err != nil {
 			st.Faults.Add(1)
@@ -947,6 +952,20 @@ func (c *compiler) lowerCall(pc int) (step, error) {
 			}
 			if m.lsr != nil {
 				m.regs[policy.R0] = m.lsr.LockStat(m.regs[policy.R1])
+			} else {
+				m.regs[policy.R0] = 0
+			}
+			next(m)
+		}, nil
+	case policy.HelperOCCSet:
+		// Same shape as lock_stats_read: the OCCSetter probe happened
+		// once at run entry (m.ocs); no setter means "no change".
+		return func(m *mach) {
+			if !trap(m) {
+				return
+			}
+			if m.ocs != nil {
+				m.regs[policy.R0] = m.ocs.OCCSet(m.regs[policy.R1])
 			} else {
 				m.regs[policy.R0] = 0
 			}

@@ -20,6 +20,10 @@ type MapSpec struct {
 	ValueSize  int    `json:"value_size"`
 	MaxEntries int    `json:"max_entries"`
 	NumCPUs    int    `json:"num_cpus,omitempty"`
+	// Growable marks hash kinds that resize online past MaxEntries.
+	// Absent in specs persisted before online resize existed, which
+	// json decodes as false — exactly the old fixed-capacity contract.
+	Growable bool `json:"growable,omitempty"`
 }
 
 // SpecOf extracts the specification of a map.
@@ -38,9 +42,11 @@ func SpecOf(m Map) MapSpec {
 		spec.NumCPUs = mm.NumCPUs()
 	case *HashMap:
 		spec.Type = "hash"
+		spec.Growable = mm.Growable()
 	case *PerCPUHashMap:
 		spec.Type = "percpu_hash"
 		spec.NumCPUs = mm.NumCPUs()
+		spec.Growable = mm.Growable()
 	case *LockedHashMap:
 		spec.Type = "locked_hash"
 	default:
@@ -72,11 +78,17 @@ func (s MapSpec) Build() (m Map, err error) {
 			// them via the locked kind, which supports unbounded keys.
 			return NewLockedHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
 		}
+		if s.Growable {
+			return NewGrowableHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
+		}
 		return NewHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries), nil
 	case "percpu_hash":
 		n := s.NumCPUs
 		if n <= 0 {
 			n = 1
+		}
+		if s.Growable {
+			return NewGrowablePerCPUHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries, n), nil
 		}
 		return NewPerCPUHashMap(s.Name, s.KeySize, s.ValueSize, s.MaxEntries, n), nil
 	case "locked_hash":

@@ -480,6 +480,14 @@ func execHelper(p *Program, h HelperID, regs *[NumRegs]rtVal, stack []byte, env 
 			return scalar(r.LockStat(regs[R1].v)), nil
 		}
 		return scalar(0), nil
+	case HelperOCCSet:
+		// Same optional-interface shape as lock_stats_read: without a
+		// routed lock the helper reports "no change", so occ-gating
+		// policies run (inertly) on any environment.
+		if r, ok := env.(OCCSetter); ok {
+			return scalar(r.OCCSet(regs[R1].v)), nil
+		}
+		return scalar(0), nil
 	}
 	return rtVal{}, fmt.Errorf("unknown helper %d", int64(h))
 }

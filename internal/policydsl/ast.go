@@ -19,6 +19,7 @@ type MapDecl struct {
 	Value   int64  // value size in bytes
 	Entries int64
 	CPUs    int64 // percpu_array only
+	Grow    int64 // hash kinds: non-zero enables online resize
 }
 
 // PolicyDecl is `policy <hookkind> <name> { ... }`.

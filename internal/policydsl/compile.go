@@ -126,9 +126,18 @@ func buildMap(md *MapDecl) (policy.Map, error) {
 			if cpus <= 0 {
 				cpus = 80
 			}
+			if md.Grow != 0 {
+				return policy.NewGrowablePerCPUHashMap(md.Name, int(key), int(md.Value), int(md.Entries), int(cpus)), nil
+			}
 			return policy.NewPerCPUHashMap(md.Name, int(key), int(md.Value), int(md.Entries), int(cpus)), nil
 		case "locked_hash":
+			if md.Grow != 0 {
+				return nil, errf(md.line, md.col, "map %q: locked_hash does not support grow", md.Name)
+			}
 			return policy.NewLockedHashMap(md.Name, int(key), int(md.Value), int(md.Entries)), nil
+		}
+		if md.Grow != 0 {
+			return policy.NewGrowableHashMap(md.Name, int(key), int(md.Value), int(md.Entries)), nil
 		}
 		return policy.NewHashMap(md.Name, int(key), int(md.Value), int(md.Entries)), nil
 	default:
@@ -151,6 +160,9 @@ var builtins = map[string]struct {
 	// lock_stats_read(field) reads one windowed signal of the hooked
 	// lock from the continuous profiler (internal/profile Field* IDs).
 	"lock_stats_read": {1, policy.HelperLockStats},
+	// occ_set(on) promotes (on != 0) or demotes the hooked lock's
+	// optimistic read tier; returns 1 if the state changed.
+	"occ_set": {1, policy.HelperOCCSet},
 }
 
 // Stack frame layout (all offsets from the frame pointer):

@@ -461,6 +461,11 @@ const (
 	FieldContentions        uint64 = 7 // scaled by sampling rate
 	FieldWaitMeanNS         uint64 = 8
 	FieldHoldMeanNS         uint64 = 9
+	FieldReadAcqs           uint64 = 10 // scaled by sampling rate
+	// FieldReadShare is the read fraction of the window's acquisitions,
+	// in per-mille — the promotion signal for the optimistic read tier
+	// (occ-gate.pol), precomputed here so policies need no division.
+	FieldReadShare uint64 = 11
 )
 
 // Field returns one windowed signal by lock_stats_read field ID, 0 for
@@ -487,6 +492,20 @@ func (s *WindowSnapshot) Field(f uint64) uint64 {
 		return uint64(s.WaitMeanNS)
 	case FieldHoldMeanNS:
 		return uint64(s.HoldMeanNS)
+	case FieldReadAcqs:
+		return uint64(s.ReadAcqs)
+	case FieldReadShare:
+		if s.Acqs <= 0 {
+			return 0
+		}
+		share := s.ReadAcqs * 1000 / s.Acqs
+		if share < 0 {
+			return 0
+		}
+		if share > 1000 {
+			share = 1000 // saturate against sampling skew
+		}
+		return uint64(share)
 	}
 	return 0
 }

@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"concord/internal/policy"
+)
+
+// MapChurnConfig parameterizes RunMapResizeChurn.
+type MapChurnConfig struct {
+	Workers int
+	// TotalKeys is the number of distinct keys churned through the map
+	// across all workers (default 1<<20). Far larger than any sane
+	// preallocation, which is the point: only online resize plus
+	// tombstone compaction lets a fixed-start map survive it.
+	TotalKeys int64
+	// LiveWindow is how many keys each worker keeps resident before
+	// deleting the oldest (default 1024). Workers × LiveWindow bounds
+	// live occupancy; everything beyond it is tombstone churn.
+	LiveWindow int64
+	// MeasureAlloc brackets the run with MemStats. Resize migration
+	// allocates the shadow tables, so the amortized figure is nonzero
+	// but must stay far below one allocation per operation.
+	MeasureAlloc bool
+}
+
+func (c *MapChurnConfig) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.TotalKeys <= 0 {
+		c.TotalKeys = 1 << 20
+	}
+	if c.LiveWindow <= 0 {
+		c.LiveWindow = 1024
+	}
+}
+
+// RunMapResizeChurn streams cfg.TotalKeys distinct keys through m:
+// worker w owns keys congruent to w mod Workers, inserts each, and
+// deletes its key from LiveWindow insertions ago, so the live set stays
+// bounded while the distinct-key count grows without limit. On a
+// fixed-capacity map this hits ErrMapFull as soon as distinct keys
+// exceed preallocation (tombstones alone don't save it — dead slots
+// poison probe chains until compaction); a growable map must complete
+// the full churn. The first map error aborts the run and is returned.
+//
+// Each insert is counted as one op; deletes ride along uncounted, so
+// ops/ms is distinct keys per millisecond.
+func RunMapResizeChurn(m policy.Map, cfg MapChurnConfig) (Result, error) {
+	cfg.setDefaults()
+	workers := cfg.Workers
+	perWorker := cfg.TotalKeys / int64(workers)
+
+	res := Result{PerTask: make([]int64, workers)}
+	var firstErr atomic.Pointer[error]
+	fail := func(err error) {
+		e := err
+		firstErr.CompareAndSwap(nil, &e)
+	}
+	var wg sync.WaitGroup
+	var before, after runtime.MemStats
+	if cfg.MeasureAlloc {
+		runtime.ReadMemStats(&before)
+	}
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var key [8]byte
+			val := []uint64{1}
+			for j := int64(0); j < perWorker; j++ {
+				if firstErr.Load() != nil {
+					return
+				}
+				k := int64(w) + j*int64(workers)
+				binary.LittleEndian.PutUint64(key[:], uint64(k))
+				if err := m.Update(key[:], val, w); err != nil {
+					fail(err)
+					return
+				}
+				res.PerTask[w]++
+				if old := j - cfg.LiveWindow; old >= 0 {
+					k = int64(w) + old*int64(workers)
+					binary.LittleEndian.PutUint64(key[:], uint64(k))
+					if err := m.Delete(key[:]); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if j&1023 == 1023 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Duration = time.Since(t0)
+	if cfg.MeasureAlloc {
+		runtime.ReadMemStats(&after)
+	}
+	for _, v := range res.PerTask {
+		res.Ops += v
+	}
+	if cfg.MeasureAlloc && res.Ops > 0 {
+		res.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(res.Ops)
+	}
+	if ep := firstErr.Load(); ep != nil {
+		return res, *ep
+	}
+	return res, nil
+}
